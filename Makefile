@@ -1,0 +1,44 @@
+# Standard entry points; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench fuzz experiments fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the training-based integration tests; finishes in a few seconds.
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel'
+
+# Regenerates every paper table/figure plus the extension studies at
+# Default scale and records the outputs at the repository root.
+bench:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem -benchtime=1x -timeout 7200s . 2>&1 | tee bench_output.txt
+
+# Short fuzz sessions over the quantizer and the device dynamics.
+fuzz:
+	$(GO) test ./internal/adc/ -fuzz FuzzQuantize -fuzztime 30s
+	$(GO) test ./internal/device/ -fuzz FuzzPulseForTarget -fuzztime 30s
+	$(GO) test ./internal/device/ -fuzz FuzzAdvance -fuzztime 30s
+
+experiments:
+	$(GO) run ./cmd/vortexsim -exp all -scale default
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f test_output.txt bench_output.txt

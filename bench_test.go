@@ -1,0 +1,223 @@
+package vortex
+
+// One benchmark per table/figure of the paper's evaluation. Each bench
+// runs the corresponding experiment driver at Default scale (14x14
+// benchmark images, paper-like protocol) and logs the regenerated
+// rows/series; run with
+//
+//	go test -bench=. -benchtime=1x
+//
+// to print every artifact. Absolute values depend on the synthetic digit
+// benchmark; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+import (
+	"testing"
+
+	"vortex/internal/experiment"
+)
+
+func logResult(b *testing.B, name, table string) {
+	b.Logf("%s (scale=%s):\n%s", name, experiment.Default, table)
+}
+
+// BenchmarkFig2ColumnTraining regenerates Fig. 2: output discrepancy of
+// OLD vs CLD on a 100-memristor column across sigma, Monte-Carlo.
+func BenchmarkFig2ColumnTraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig2(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Fig. 2 — column training discrepancy", res.Table())
+	}
+}
+
+// BenchmarkFig3IRDrop regenerates Fig. 3: the beta coefficient and
+// D-matrix skew of the IR-drop decomposition versus crossbar size.
+func BenchmarkFig3IRDrop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig3(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Fig. 3 — IR-drop decomposition (all-LRS worst case)", res.Table())
+		b.Logf("skew > 2 crossover at %d rows (paper: ~128)", res.Crossover)
+	}
+}
+
+// BenchmarkFig4GammaTradeoff regenerates Fig. 4: training rate and test
+// rates with/without variation versus the VAT penalty scale gamma.
+func BenchmarkFig4GammaTradeoff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig4(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Fig. 4 — variation tolerance vs training rate", res.Table())
+	}
+}
+
+// BenchmarkFig7AMP regenerates Fig. 7: test rate before and after
+// adaptive mapping across gamma.
+func BenchmarkFig7AMP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig7(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Fig. 7 — effectiveness of AMP", res.Table())
+		b.Logf("best gamma: before AMP %.2f, after AMP %.2f (paper: 0.4 -> 0.2)",
+			res.BestGammaBefore, res.BestGammaAfter)
+	}
+}
+
+// BenchmarkFig8ADCResolution regenerates Fig. 8: test rate versus ADC
+// resolution at several sigma levels.
+func BenchmarkFig8ADCResolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig8(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Fig. 8 — ADC resolution vs test rate", res.Table())
+	}
+}
+
+// BenchmarkFig9Redundancy regenerates Fig. 9: test rate versus redundant
+// rows with OLD/CLD baselines, including the headline average gains.
+func BenchmarkFig9Redundancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Fig9(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Fig. 9 — overhead vs test rate", res.Table())
+		b.Logf("avg gain of Vortex(p=0): +%.1f points over OLD, +%.1f over CLD (paper: +29.6 / +26.4)",
+			100*res.AvgGainOverOLD, 100*res.AvgGainOverCLD)
+	}
+}
+
+// BenchmarkTable1Sizes regenerates Table 1: Vortex vs CLD with and
+// without IR-drop at 784/196/49 rows.
+func BenchmarkTable1Sizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table1(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Table 1 — Vortex vs CLD at different crossbar sizes", res.Table())
+	}
+}
+
+// --- Extension and ablation benches (beyond the paper's artifacts) ---
+
+// BenchmarkExtSchemes compares all four training schemes (including the
+// program-and-verify alternative of paper ref [7]) across sigma.
+func BenchmarkExtSchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Schemes(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Extension — schemes vs sigma", res.Table())
+	}
+}
+
+// BenchmarkExtDefects sweeps the stuck-at defect rate with and without
+// AMP (paper Sec. 4.2.2's defective-cell discussion, quantified).
+func BenchmarkExtDefects(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Defects(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Extension — defect tolerance", res.Table())
+	}
+}
+
+// BenchmarkExtCost accounts the programming pulses/time/energy of each
+// scheme next to its test rate (the paper's Sec. 1 overhead narrative).
+func BenchmarkExtCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Cost(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Extension — training cost accounting", res.Table())
+	}
+}
+
+// BenchmarkAblationMappers contrasts AMP mapping strategies: identity,
+// random, greedy (Algorithm 1) and the exact Hungarian optimum.
+func BenchmarkAblationMappers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Mappers(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Ablation — AMP mapping strategies", res.Table())
+	}
+}
+
+// BenchmarkExtTiling sweeps the tile height of a partitioned crossbar
+// under wire parasitics — the architectural alternative to IR
+// compensation that Table 1 motivates.
+func BenchmarkExtTiling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Tiling(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Extension — crossbar tiling", res.Table())
+	}
+}
+
+// BenchmarkExtMLP contrasts the single-layer Vortex system with a
+// two-layer crossbar network, plain vs noise-injection trained.
+func BenchmarkExtMLP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.MLP(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Extension — two-layer crossbar network", res.Table())
+		b.Logf("clean software: linear %.1f%%, MLP %.1f%%", 100*res.CleanLinear, 100*res.CleanMLP)
+	}
+}
+
+// BenchmarkExtPrecision sweeps the programming-DAC level count (the
+// write-side dual of Fig. 8's read-ADC analysis).
+func BenchmarkExtPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Precision(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Extension — write precision", res.Table())
+	}
+}
+
+// BenchmarkExtRefresh contrasts an aging system against one that is
+// verify-reprogrammed on a logarithmic schedule, with the refresh cost.
+func BenchmarkExtRefresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Refresh(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Extension — periodic refresh vs drift", res.Table())
+		b.Logf("%d refreshes, %d pulses over the horizon", res.Refreshes, res.PulseCost)
+	}
+}
+
+// BenchmarkExtRetention ages programmed systems under retention drift and
+// contrasts plain with drift-aware training margins.
+func BenchmarkExtRetention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Retention(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Extension — retention drift", res.Table())
+	}
+}

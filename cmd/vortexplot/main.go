@@ -1,0 +1,156 @@
+// Command vortexplot renders an ASCII line chart from CSV on stdin — the
+// terminal-native companion of vortexsim's -csv output.
+//
+// Usage:
+//
+//	go run ./cmd/vortexsim -exp fig4 -csv | \
+//	    go run ./cmd/vortexplot -x gamma -y "train%,test% (w/ var)"
+//
+// Column selectors match CSV header names exactly. Non-numeric cells in
+// selected columns are skipped with a warning.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"vortex/internal/plot"
+)
+
+func main() {
+	var (
+		xcol   = flag.String("x", "", "x-axis column name (default: first column)")
+		ycols  = flag.String("y", "", "comma-separated y column names (default: every numeric column but x)")
+		width  = flag.Int("w", 60, "plot width")
+		height = flag.Int("h", 18, "plot height")
+		logx   = flag.Bool("logx", false, "logarithmic x axis")
+	)
+	flag.Parse()
+
+	in := bufio.NewReader(os.Stdin)
+	// Skip any non-CSV banner lines vortexsim prints before the header
+	// (lines starting with "==" or "[").
+	var csvText strings.Builder
+	for {
+		line, err := in.ReadString('\n')
+		if len(line) > 0 && !strings.HasPrefix(line, "==") && !strings.HasPrefix(line, "[") &&
+			strings.TrimSpace(line) != "" {
+			csvText.WriteString(line)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	records, err := csv.NewReader(strings.NewReader(csvText.String())).ReadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parsing CSV:", err)
+		os.Exit(1)
+	}
+	if len(records) < 2 {
+		fmt.Fprintln(os.Stderr, "need a header row and at least one data row")
+		os.Exit(1)
+	}
+	header := records[0]
+	colIdx := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	xi := 0
+	if *xcol != "" {
+		xi = colIdx(*xcol)
+		if xi < 0 {
+			fmt.Fprintf(os.Stderr, "unknown x column %q; header: %v\n", *xcol, header)
+			os.Exit(2)
+		}
+	}
+	var ys []int
+	if *ycols != "" {
+		for _, name := range strings.Split(*ycols, ",") {
+			name = strings.TrimSpace(name)
+			yi := colIdx(name)
+			if yi < 0 {
+				fmt.Fprintf(os.Stderr, "unknown y column %q; header: %v\n", name, header)
+				os.Exit(2)
+			}
+			ys = append(ys, yi)
+		}
+	} else {
+		// Every column except x that parses as numeric in the first row.
+		for i := range header {
+			if i == xi {
+				continue
+			}
+			if _, err := parseNumeric(records[1][i]); err == nil {
+				ys = append(ys, i)
+			}
+		}
+	}
+	if len(ys) == 0 {
+		fmt.Fprintln(os.Stderr, "no numeric y columns found")
+		os.Exit(2)
+	}
+
+	series := make([]plot.Series, len(ys))
+	for si, yi := range ys {
+		series[si].Name = header[yi]
+	}
+	skipped := 0
+	for _, rec := range records[1:] {
+		x, err := parseNumeric(rec[xi])
+		if err != nil {
+			skipped++
+			continue
+		}
+		for si, yi := range ys {
+			y, err := parseNumeric(rec[yi])
+			if err != nil {
+				skipped++
+				continue
+			}
+			series[si].X = append(series[si].X, x)
+			series[si].Y = append(series[si].Y, y)
+		}
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "skipped %d non-numeric cells\n", skipped)
+	}
+	out, err := plot.Render(series, plot.Options{Width: *width, Height: *height, LogX: *logx})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+// parseNumeric parses a float, tolerating a trailing unit suffix like
+// "6-bit" or "85.3%" so vortexsim tables plot directly.
+func parseNumeric(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	// Strip one trailing non-numeric run.
+	end := len(s)
+	for end > 0 {
+		c := s[end-1]
+		if (c >= '0' && c <= '9') || c == '.' {
+			break
+		}
+		end--
+	}
+	return strconv.ParseFloat(s[:end], 64)
+}

@@ -1,0 +1,50 @@
+package vortex_test
+
+import (
+	"fmt"
+	"log"
+
+	"vortex"
+)
+
+// ExampleTrainOLD shows the simplest hardware training path: software GDT
+// followed by one open-loop programming pass, on ideal (variation-free)
+// hardware where the result is deterministic.
+func ExampleTrainOLD() {
+	trainSet, err := vortex.Digits(10, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainSet, err = vortex.Undersample(trainSet, 4) // 7x7 keeps this fast
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := vortex.DefaultNCSConfig(trainSet.Features(), 10)
+	cfg.ADCBits = 0 // ideal sensing: deterministic output
+	sys, err := vortex.BuildNCS(cfg, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := vortex.TrainOLD(sys, trainSet, vortex.OLDConfig{}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training rate %.0f%%\n", 100*res.TrainRate)
+	// Output: training rate 95%
+}
+
+// ExampleBuildTiled demonstrates partitioning a layer across crossbar
+// tiles: the grid geometry follows from the tile bounds.
+func ExampleBuildTiled() {
+	a, err := vortex.BuildTiled(100, 10, vortex.TileConfig{
+		MaxRows: 32,
+		MaxCols: 5,
+		ADCBits: -1,
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, c := a.Tiles()
+	fmt.Printf("%dx%d tiles, %d sense channels\n", r, c, a.SenseChannels())
+	// Output: 4x2 tiles, 40 sense channels
+}

@@ -1,0 +1,96 @@
+// Mnistxbar runs the paper's main evaluation scenario end to end: a digit
+// classifier on a memristor crossbar pair with device variation AND wire
+// parasitics, trained three ways — OLD, CLD and Vortex — and scored on a
+// held-out test set. It is the three-way comparison behind Table 1 and
+// Fig. 9, in one runnable program.
+//
+//	go run ./examples/mnistxbar                # 14x14, quick
+//	go run ./examples/mnistxbar -factor 1      # full 784-input setup (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"vortex"
+)
+
+func main() {
+	var (
+		factor   = flag.Int("factor", 2, "benchmark undersampling factor (1=28x28, 2=14x14, 4=7x7)")
+		sigma    = flag.Float64("sigma", 0.6, "device variation")
+		rwire    = flag.Float64("rwire", 2.5, "wire resistance per segment [ohm]")
+		perClass = flag.Int("perclass", 120, "training samples per class")
+		seed     = flag.Uint64("seed", 11, "seed")
+	)
+	flag.Parse()
+
+	trainSet, err := vortex.Digits(*perClass, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	testSet, err := vortex.Digits(*perClass/2, *seed+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *factor > 1 {
+		if trainSet, err = vortex.Undersample(trainSet, *factor); err != nil {
+			log.Fatal(err)
+		}
+		if testSet, err = vortex.Undersample(testSet, *factor); err != nil {
+			log.Fatal(err)
+		}
+	}
+	inputs := trainSet.Features()
+	fmt.Printf("digit benchmark: %d inputs, %d train / %d test samples\n",
+		inputs, trainSet.Len(), testSet.Len())
+	fmt.Printf("hardware: sigma=%.1f, rwire=%.1f ohm, 6-bit ADCs\n\n", *sigma, *rwire)
+
+	build := func(redundancy int) *vortex.NCS {
+		cfg := vortex.DefaultNCSConfig(inputs, 10)
+		cfg.Sigma = *sigma
+		cfg.RWire = *rwire
+		cfg.Redundancy = redundancy
+		sys, err := vortex.BuildNCS(cfg, *seed+2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sys
+	}
+	report := func(name string, sys *vortex.NCS, trainRate float64, start time.Time) {
+		testRate, err := sys.Evaluate(testSet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s train %5.1f%%   test %5.1f%%   (%v)\n",
+			name, 100*trainRate, 100*testRate, time.Since(start).Round(time.Millisecond))
+	}
+
+	start := time.Now()
+	oldSys := build(0)
+	oldRes, err := vortex.TrainOLD(oldSys, trainSet, vortex.OLDConfig{CompensateIR: true}, *seed+3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("OLD", oldSys, oldRes.TrainRate, start)
+
+	start = time.Now()
+	cldSys := build(0)
+	cldRes, err := vortex.TrainCLD(cldSys, trainSet, vortex.CLDConfig{}, *seed+3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("CLD", cldSys, cldRes.TrainRate, start)
+
+	start = time.Now()
+	vSys := build(20 * inputs / 196)
+	vRes, err := vortex.TrainVortex(vSys, trainSet, vortex.DefaultVortexConfig(), *seed+3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("Vortex", vSys, vRes.TrainRate, start)
+	fmt.Printf("\nVortex internals: sigma-hat %.2f -> effective %.2f after AMP, gamma* %.2f\n",
+		vRes.SigmaHat, vRes.SigmaEffective, vRes.Gamma)
+}

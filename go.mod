@@ -1,0 +1,3 @@
+module vortex
+
+go 1.22

@@ -1,0 +1,41 @@
+package adc
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQuantize drives the quantizer with arbitrary inputs and converter
+// geometries, asserting the invariants that every consumer relies on:
+// output within range, idempotence, and code/value round-tripping.
+func FuzzQuantize(f *testing.F) {
+	f.Add(6, 0.0, 1.0, 0.5)
+	f.Add(1, -1.0, 1.0, 0.0)
+	f.Add(12, 0.0, 1e-3, 2e-4)
+	f.Add(4, -5.0, 5.0, 100.0)
+	f.Fuzz(func(t *testing.T, bits int, lo, hi, x float64) {
+		if bits < 1 || bits > 24 || !(hi > lo) ||
+			math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) ||
+			hi-lo < 1e-300 || hi-lo > 1e300 {
+			t.Skip()
+		}
+		c, err := NewConverter(bits, lo, hi)
+		if err != nil {
+			t.Skip()
+		}
+		q := c.Quantize(x)
+		if q < lo || q > hi {
+			t.Fatalf("Quantize(%v) = %v escapes [%v, %v]", x, q, lo, hi)
+		}
+		if c.Quantize(q) != q {
+			t.Fatalf("quantizer not idempotent at %v", x)
+		}
+		code := c.Code(x)
+		if code < 0 || code >= 1<<uint(bits) {
+			t.Fatalf("code %d out of range for %d bits", code, bits)
+		}
+		if c.Code(c.Value(code)) != code {
+			t.Fatalf("code/value round trip failed for code %d", code)
+		}
+	})
+}

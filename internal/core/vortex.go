@@ -1,0 +1,238 @@
+// Package core integrates the Vortex training scheme of the paper:
+// variation-aware training (VAT, Sec. 4.1) with its self-tuning gamma
+// scan (Fig. 5), adaptive mapping (AMP, Sec. 4.2) driven by hardware
+// pre-testing, and their composition (Sec. 4.3) in which the variation
+// reduction achieved by AMP feeds back into the VAT penalty.
+//
+// The package operates on an assembled ncs.NCS and is the implementation
+// behind the repository's public vortex.TrainVortex entry point.
+package core
+
+import (
+	"errors"
+	"math"
+
+	"vortex/internal/adc"
+	"vortex/internal/dataset"
+	"vortex/internal/mapping"
+	"vortex/internal/mat"
+	"vortex/internal/ncs"
+	"vortex/internal/opt"
+	"vortex/internal/rng"
+	"vortex/internal/stats"
+	"vortex/internal/train"
+	"vortex/internal/xbar"
+)
+
+// VortexConfig controls the integrated pipeline. Zero values select the
+// documented defaults.
+type VortexConfig struct {
+	// Self-tuning scan settings. Sigma inside is ignored — the pipeline
+	// estimates it from pre-testing (or uses SigmaOverride).
+	SelfTune train.SelfTuneConfig
+
+	PretestTarget  float64 // pre-test resistance target; default 100 kOhm
+	PretestSenses  int     // senses per cell during pre-testing; default 3
+	PretestADCBits int     // pre-test ADC resolution; default 6, <0 = ideal
+
+	UseAMP      bool    // enable adaptive mapping; set by DefaultVortexConfig
+	UseSelfTune bool    // enable the gamma scan; set by DefaultVortexConfig
+	Gamma       float64 // fixed gamma when self-tuning is disabled
+
+	SigmaOverride float64 // >0 skips sigma estimation from pre-testing
+	Confidence    float64 // chi-square confidence for rho; default 0.9
+	SGD           opt.SGDConfig
+
+	// DisableIntegrationRetrain skips step 4 (the Sec. 4.3 retrain at the
+	// post-AMP effective sigma). Used by ablations studying whether the
+	// integration helps under imperfect pre-test observability.
+	DisableIntegrationRetrain bool
+}
+
+// DefaultVortexConfig returns the full Vortex pipeline configuration
+// (AMP on, self-tuning on).
+func DefaultVortexConfig() VortexConfig {
+	return VortexConfig{UseAMP: true, UseSelfTune: true}
+}
+
+func (c VortexConfig) withDefaults() VortexConfig {
+	if c.PretestTarget <= 0 {
+		c.PretestTarget = 100e3
+	}
+	if c.PretestSenses <= 0 {
+		c.PretestSenses = 3
+	}
+	if c.PretestADCBits == 0 {
+		c.PretestADCBits = 6
+	}
+	if c.Confidence <= 0 || c.Confidence >= 1 {
+		c.Confidence = 0.9
+	}
+	return c
+}
+
+// VortexResult extends the basic training result with the Vortex
+// pipeline's intermediate observations.
+type VortexResult struct {
+	train.Result
+	RowMap         []int              // installed logical-to-physical mapping
+	SigmaHat       float64            // variation sigma estimated from pre-testing
+	SigmaEffective float64            // sigma experienced by weights after AMP
+	Curve          []train.GammaPoint // self-tuning scan (nil when disabled)
+}
+
+// pretestChain builds the single-cell sense chain used during AMP
+// pre-testing: full scale sized for one on-state device at the read
+// voltage.
+func pretestChain(n *ncs.NCS, bits int) (*adc.SenseChain, error) {
+	if bits < 0 {
+		return adc.Ideal(), nil
+	}
+	full := n.Codec().GOn * 1.25 // one cell at Ron, 1 V read, some headroom
+	conv, err := adc.NewConverter(bits, 0, full)
+	if err != nil {
+		return nil, err
+	}
+	return adc.NewSenseChain(conv, 1, nil), nil
+}
+
+// estimateSigma robustly fits the lognormal spread of measured variation
+// factors, discarding defect outliers with a percentile-based (IQR-style)
+// estimate so a handful of stuck cells cannot inflate sigma.
+func estimateSigma(fpos, fneg *mat.Matrix) float64 {
+	logs := make([]float64, 0, len(fpos.Data)+len(fneg.Data))
+	for _, f := range fpos.Data {
+		if f > 0 {
+			logs = append(logs, math.Log(f))
+		}
+	}
+	for _, f := range fneg.Data {
+		if f > 0 {
+			logs = append(logs, math.Log(f))
+		}
+	}
+	if len(logs) < 2 {
+		return 0
+	}
+	q25, err1 := stats.Percentile(logs, 25)
+	q75, err2 := stats.Percentile(logs, 75)
+	if err1 != nil || err2 != nil {
+		return 0
+	}
+	// For a normal distribution, IQR = 1.349 sigma.
+	return (q75 - q25) / 1.349
+}
+
+// TrainVortex runs the integrated pipeline on the NCS:
+//
+//  1. Pre-test both arrays (Sec. 4.2.1) through the pre-test ADC and
+//     estimate the device variation sigma.
+//  2. Train VAT weights — with the self-tuning gamma scan of Fig. 5 when
+//     enabled, otherwise at the fixed configured gamma.
+//  3. Run AMP's greedy mapping (Algorithm 1) with the trained weights,
+//     the measured factors and the workload statistics; install the row
+//     map and measure the post-mapping effective sigma.
+//  4. Retrain VAT at the selected gamma against the reduced effective
+//     sigma (the Sec. 4.3 integration) and program the result open loop
+//     with IR-drop compensation.
+//
+// The returned result carries the training rate measured on the
+// programmed hardware plus all pipeline intermediates.
+func TrainVortex(n *ncs.NCS, set *dataset.Set, cfg VortexConfig, src *rng.Source) (*VortexResult, error) {
+	if set.Len() == 0 {
+		return nil, errors.New("core: empty training set")
+	}
+	if src == nil {
+		return nil, errors.New("core: nil rng source")
+	}
+	cfg = cfg.withDefaults()
+	ncfg := n.Config()
+	if set.Features() != ncfg.Inputs {
+		return nil, errors.New("core: sample size does not match NCS inputs")
+	}
+
+	// Step 1: pre-testing.
+	chain, err := pretestChain(n, cfg.PretestADCBits)
+	if err != nil {
+		return nil, err
+	}
+	fpos, err := n.Pos.Pretest(cfg.PretestTarget, cfg.PretestSenses, chain)
+	if err != nil {
+		return nil, err
+	}
+	fneg, err := n.Neg.Pretest(cfg.PretestTarget, cfg.PretestSenses, chain)
+	if err != nil {
+		return nil, err
+	}
+	sigmaHat := cfg.SigmaOverride
+	if sigmaHat <= 0 {
+		sigmaHat = estimateSigma(fpos, fneg)
+	}
+
+	// Step 2: VAT training (self-tuned or fixed gamma).
+	res := &VortexResult{SigmaHat: sigmaHat}
+	stCfg := cfg.SelfTune
+	stCfg.Sigma = sigmaHat
+	stCfg.SGD = cfg.SGD
+	stCfg.Classes = ncfg.Outputs
+	var w *mat.Matrix
+	var gamma float64
+	if cfg.UseSelfTune {
+		w, gamma, res.Curve, err = train.SelfTune(set, stCfg, src.Split())
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		gamma = cfg.Gamma
+		w, err = train.SoftwareVAT(set, ncfg.Outputs, gamma, sigmaHat, cfg.Confidence, cfg.SGD, src.Split())
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Gamma = gamma
+
+	// Step 3: adaptive mapping.
+	rowMap := ncs.IdentityMap(ncfg.Inputs)
+	if cfg.UseAMP {
+		rowMap, err = mapping.Greedy(w, fpos, fneg, set.MeanInput())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := n.SetRowMap(rowMap); err != nil {
+		return nil, err
+	}
+	res.RowMap = rowMap
+	res.SigmaEffective = mapping.EffectiveSigma(w, fpos, fneg, rowMap)
+
+	// Step 4: integration — retrain against the post-AMP variation level
+	// when AMP actually reduced it, then program.
+	if cfg.UseAMP && !cfg.DisableIntegrationRetrain &&
+		res.SigmaEffective > 0 && res.SigmaEffective < sigmaHat {
+		w, err = train.SoftwareVAT(set, ncfg.Outputs, gamma, res.SigmaEffective,
+			cfg.Confidence, cfg.SGD, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		// The retrained weights have a different sensitivity profile, so
+		// the row assignment must be refreshed before programming.
+		rowMap, err = mapping.Greedy(w, fpos, fneg, set.MeanInput())
+		if err != nil {
+			return nil, err
+		}
+		if err := n.SetRowMap(rowMap); err != nil {
+			return nil, err
+		}
+		res.RowMap = rowMap
+		res.SigmaEffective = mapping.EffectiveSigma(w, fpos, fneg, rowMap)
+	}
+	if err := n.ProgramWeights(w, xbar.ProgramOptions{CompensateIR: true}); err != nil {
+		return nil, err
+	}
+	res.Weights = w
+	res.TrainRate, err = n.Evaluate(set)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

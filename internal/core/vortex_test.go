@@ -1,0 +1,273 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"vortex/internal/dataset"
+	"vortex/internal/mat"
+	"vortex/internal/ncs"
+	"vortex/internal/opt"
+	"vortex/internal/rng"
+	"vortex/internal/train"
+)
+
+func digits7(t *testing.T, perClassTrain, perClassTest int, seedA, seedB uint64) (trainSet, testSet *dataset.Set) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	tr, err := dataset.GenerateBalanced(cfg, perClassTrain, rng.New(seedA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := dataset.GenerateBalanced(cfg, perClassTest, rng.New(seedB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err = dataset.Undersample(tr, 2, dataset.Decimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err = dataset.Undersample(te, 2, dataset.Decimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, te
+}
+
+func makeNCS(t *testing.T, inputs, redundancy int, sigma float64, seed uint64) *ncs.NCS {
+	t.Helper()
+	cfg := ncs.DefaultConfig(inputs, dataset.NumClasses)
+	cfg.Sigma = sigma
+	cfg.Redundancy = redundancy
+	n, err := ncs.New(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func fastCfg() VortexConfig {
+	cfg := DefaultVortexConfig()
+	cfg.SGD = opt.SGDConfig{Epochs: 25}
+	cfg.SelfTune = train.SelfTuneConfig{
+		Gammas: []float64{0, 0.05, 0.1},
+		MCRuns: 4,
+	}
+	cfg.PretestSenses = 1
+	return cfg
+}
+
+func TestVortexValidation(t *testing.T) {
+	trainSet, _ := digits7(t, 2, 1, 1, 2)
+	n := makeNCS(t, trainSet.Features(), 0, 0.3, 3)
+	if _, err := TrainVortex(n, &dataset.Set{}, fastCfg(), rng.New(1)); err == nil {
+		t.Fatal("expected empty-set error")
+	}
+	if _, err := TrainVortex(n, trainSet, fastCfg(), nil); err == nil {
+		t.Fatal("expected nil-source error")
+	}
+	wrong := &dataset.Set{Size: 3, Samples: []dataset.Sample{{Pixels: make([]float64, 9)}}}
+	if _, err := TrainVortex(n, wrong, fastCfg(), rng.New(1)); err == nil {
+		t.Fatal("expected feature mismatch error")
+	}
+}
+
+func TestSigmaEstimationFromPretest(t *testing.T) {
+	trainSet, _ := digits7(t, 6, 2, 4, 5)
+	sigma := 0.5
+	n := makeNCS(t, trainSet.Features(), 0, sigma, 6)
+	cfg := fastCfg()
+	cfg.UseSelfTune = false
+	cfg.Gamma = 0.05
+	cfg.PretestADCBits = -1 // ideal pre-test sensing isolates the estimator
+	res, err := TrainVortex(n, trainSet, cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.SigmaHat-sigma) > 0.08 {
+		t.Fatalf("estimated sigma %.3f, fabricated %.3f", res.SigmaHat, sigma)
+	}
+
+	// Through a coarse ADC the estimate must compress toward zero — the
+	// paper's Sec. 5.2 pre-test accuracy effect.
+	coarse := cfg
+	coarse.PretestADCBits = 4
+	n2 := makeNCS(t, trainSet.Features(), 0, sigma, 6)
+	res2, err := TrainVortex(n2, trainSet, coarse, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SigmaHat >= res.SigmaHat {
+		t.Fatalf("4-bit pre-test sigma %.3f not compressed below ideal %.3f",
+			res2.SigmaHat, res.SigmaHat)
+	}
+}
+
+func TestVortexRunsEndToEnd(t *testing.T) {
+	trainSet, testSet := digits7(t, 10, 6, 8, 9)
+	n := makeNCS(t, trainSet.Features(), 20, 0.5, 10)
+	res, err := TrainVortex(n, trainSet, fastCfg(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights == nil || res.RowMap == nil || len(res.Curve) != 3 {
+		t.Fatal("missing result fields")
+	}
+	if res.TrainRate < 0.5 {
+		t.Fatalf("train rate %.3f too low", res.TrainRate)
+	}
+	testRate, err := n.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testRate < 0.4 {
+		t.Fatalf("test rate %.3f too low", testRate)
+	}
+	// AMP must have installed a non-identity mapping with redundancy in
+	// play (aggressively improbable to be identity by chance).
+	identity := true
+	for i, p := range res.RowMap {
+		if p != i {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		t.Fatal("AMP left the identity mapping despite redundancy")
+	}
+	if res.SigmaEffective >= res.SigmaHat {
+		t.Fatalf("AMP did not reduce effective sigma: %.3f vs %.3f",
+			res.SigmaEffective, res.SigmaHat)
+	}
+}
+
+func TestVortexBeatsOLDUnderVariation(t *testing.T) {
+	// The headline claim at reduced scale: under heavy variation, the
+	// integrated Vortex pipeline out-tests plain OLD.
+	if testing.Short() {
+		t.Skip("skipping end-to-end comparison in -short mode")
+	}
+	trainSet, testSet := digits7(t, 20, 12, 12, 13)
+	sigma := 0.8
+
+	vortexNCS := makeNCS(t, trainSet.Features(), 20, sigma, 14)
+	if _, err := TrainVortex(vortexNCS, trainSet, fastCfg(), rng.New(15)); err != nil {
+		t.Fatal(err)
+	}
+	vortexRate, err := vortexNCS.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oldNCS := makeNCS(t, trainSet.Features(), 0, sigma, 14)
+	if _, err := train.OLD(oldNCS, trainSet, train.OLDConfig{SGD: opt.SGDConfig{Epochs: 25}}, rng.New(15)); err != nil {
+		t.Fatal(err)
+	}
+	oldRate, err := oldNCS.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sigma=%.1f: Vortex %.3f vs OLD %.3f", sigma, vortexRate, oldRate)
+	if vortexRate <= oldRate {
+		t.Fatalf("Vortex (%.3f) did not beat OLD (%.3f)", vortexRate, oldRate)
+	}
+}
+
+func TestAMPComponentHelps(t *testing.T) {
+	// Fig. 7's qualitative content: with everything else equal, enabling
+	// AMP should not hurt, and with redundancy it should help on average.
+	// Averaged over a few fabrications to suppress seed luck.
+	if testing.Short() {
+		t.Skip("skipping multi-run comparison in -short mode")
+	}
+	trainSet, testSet := digits7(t, 12, 8, 16, 17)
+	sigma := 0.8
+	var withAMP, withoutAMP float64
+	const runs = 3
+	for r := uint64(0); r < runs; r++ {
+		cfgOn := fastCfg()
+		cfgOn.UseSelfTune = false
+		cfgOn.Gamma = 0.05
+		nOn := makeNCS(t, trainSet.Features(), 30, sigma, 20+r)
+		if _, err := TrainVortex(nOn, trainSet, cfgOn, rng.New(30+r)); err != nil {
+			t.Fatal(err)
+		}
+		rate, err := nOn.Evaluate(testSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withAMP += rate
+
+		cfgOff := cfgOn
+		cfgOff.UseAMP = false
+		nOff := makeNCS(t, trainSet.Features(), 30, sigma, 20+r)
+		if _, err := TrainVortex(nOff, trainSet, cfgOff, rng.New(30+r)); err != nil {
+			t.Fatal(err)
+		}
+		rate, err = nOff.Evaluate(testSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withoutAMP += rate
+	}
+	withAMP /= runs
+	withoutAMP /= runs
+	t.Logf("sigma=%.1f mean test rate: AMP %.3f vs no-AMP %.3f", sigma, withAMP, withoutAMP)
+	if withAMP <= withoutAMP {
+		t.Fatalf("AMP (%.3f) did not improve over no-AMP (%.3f)", withAMP, withoutAMP)
+	}
+}
+
+func TestEstimateSigmaRobustToDefects(t *testing.T) {
+	src := rng.New(50)
+	sigma := 0.4
+	f := mat.NewMatrix(50, 10)
+	for i := range f.Data {
+		f.Data[i] = src.LogNormal(0, sigma)
+	}
+	// Inject a few defect outliers.
+	f.Data[3] = 120
+	f.Data[77] = 0.008
+	f.Data[200] = 95
+	est := estimateSigma(f, f)
+	if math.Abs(est-sigma) > 0.08 {
+		t.Fatalf("robust sigma estimate %.3f, want ~%.2f", est, sigma)
+	}
+}
+
+func TestVortexOnPatternWorkload(t *testing.T) {
+	// Task independence: the pipeline must work unchanged on the
+	// associative-pattern workload (paper refs [6][9] territory), not
+	// just on digit images.
+	if testing.Short() {
+		t.Skip("training-based test")
+	}
+	pcfg := dataset.PatternConfig{Classes: 8, Features: 48, FlipProb: 0.08, Analog: true}
+	trainSet, err := dataset.GeneratePatterns(pcfg, 30, rng.New(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testSet, err := dataset.GeneratePatterns(pcfg, 15, rng.New(60)) // same prototypes: same seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ncs.DefaultConfig(trainSet.Features(), pcfg.Classes)
+	cfg.Sigma = 0.6
+	cfg.Redundancy = 8
+	n, err := ncs.New(cfg, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcfg := fastCfg()
+	vcfg.SelfTune.Classes = pcfg.Classes
+	if _, err := TrainVortex(n, trainSet, vcfg, rng.New(62)); err != nil {
+		t.Fatal(err)
+	}
+	rate, err := n.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.7 {
+		t.Fatalf("pattern-workload test rate %.3f too low", rate)
+	}
+}

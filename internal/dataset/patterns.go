@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"errors"
+
+	"vortex/internal/rng"
+)
+
+// PatternConfig describes the secondary synthetic workload: K random
+// sparse prototype patterns with per-sample corruption. It is the
+// classic associative-recall benchmark of the early memristor-crossbar
+// literature (BSB recall, paper refs [6][9]) and exists here to show the
+// training schemes are not specific to the digit benchmark.
+type PatternConfig struct {
+	Classes  int     // number of prototype patterns
+	Features int     // pattern length
+	Density  float64 // fraction of active features per prototype; default 0.3
+	FlipProb float64 // per-feature corruption probability; default 0.05
+	Analog   bool    // emit corrupted values in [0,1] instead of hard bits
+}
+
+func (c PatternConfig) withDefaults() PatternConfig {
+	if c.Density <= 0 || c.Density > 1 {
+		c.Density = 0.3
+	}
+	if c.FlipProb < 0 {
+		c.FlipProb = 0
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c PatternConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Classes < 2 {
+		return errors.New("dataset: need at least two pattern classes")
+	}
+	if c.Features < 1 {
+		return errors.New("dataset: need at least one feature")
+	}
+	if c.FlipProb > 0.5 {
+		return errors.New("dataset: flip probability above 0.5 destroys class identity")
+	}
+	return nil
+}
+
+// GeneratePatterns draws the prototypes (deterministic in src) and emits
+// perClass corrupted samples of each class, shuffled. The returned Set
+// carries Size 0 — pattern sets are not images; Features() reads the
+// dimensionality from the samples.
+func GeneratePatterns(cfg PatternConfig, perClass int, src *rng.Source) (*Set, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if perClass < 1 {
+		return nil, errors.New("dataset: need at least one sample per class")
+	}
+	if src == nil {
+		return nil, errors.New("dataset: nil rng source")
+	}
+	protos := make([][]bool, cfg.Classes)
+	for k := range protos {
+		protos[k] = make([]bool, cfg.Features)
+		for i := range protos[k] {
+			protos[k][i] = src.Bernoulli(cfg.Density)
+		}
+	}
+	set := &Set{Samples: make([]Sample, 0, cfg.Classes*perClass)}
+	for k, proto := range protos {
+		for s := 0; s < perClass; s++ {
+			px := make([]float64, cfg.Features)
+			for i, on := range proto {
+				bit := on
+				if cfg.FlipProb > 0 && src.Bernoulli(cfg.FlipProb) {
+					bit = !bit
+				}
+				switch {
+				case bit && cfg.Analog:
+					px[i] = 0.5 + 0.5*src.Float64()
+				case bit:
+					px[i] = 1
+				case cfg.Analog:
+					px[i] = 0.2 * src.Float64()
+				}
+			}
+			set.Samples = append(set.Samples, Sample{Pixels: px, Label: k})
+		}
+	}
+	src.Shuffle(len(set.Samples), func(i, j int) {
+		set.Samples[i], set.Samples[j] = set.Samples[j], set.Samples[i]
+	})
+	return set, nil
+}

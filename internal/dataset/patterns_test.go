@@ -1,0 +1,145 @@
+package dataset
+
+import (
+	"testing"
+
+	"vortex/internal/rng"
+)
+
+func TestPatternValidation(t *testing.T) {
+	good := PatternConfig{Classes: 4, Features: 32}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []PatternConfig{
+		{Classes: 1, Features: 32},
+		{Classes: 4, Features: 0},
+		{Classes: 4, Features: 32, FlipProb: 0.7},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if _, err := GeneratePatterns(good, 0, rng.New(1)); err == nil {
+		t.Fatal("expected per-class error")
+	}
+	if _, err := GeneratePatterns(good, 3, nil); err == nil {
+		t.Fatal("expected nil-source error")
+	}
+}
+
+func TestPatternsBasics(t *testing.T) {
+	cfg := PatternConfig{Classes: 6, Features: 40, FlipProb: 0.05}
+	set, err := GeneratePatterns(cfg, 10, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 60 {
+		t.Fatalf("len = %d", set.Len())
+	}
+	if set.Features() != 40 {
+		t.Fatalf("Features() = %d, want 40 for a pattern set", set.Features())
+	}
+	counts := make([]int, 6)
+	for _, s := range set.Samples {
+		counts[s.Label]++
+		for _, p := range s.Pixels {
+			if p != 0 && p != 1 {
+				t.Fatal("binary mode emitted non-binary pixel")
+			}
+		}
+	}
+	for k, c := range counts {
+		if c != 10 {
+			t.Fatalf("class %d has %d samples", k, c)
+		}
+	}
+}
+
+func TestPatternsAnalogMode(t *testing.T) {
+	cfg := PatternConfig{Classes: 3, Features: 30, Analog: true}
+	set, err := GeneratePatterns(cfg, 20, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	analog := false
+	for _, s := range set.Samples {
+		for _, p := range s.Pixels {
+			if p < 0 || p > 1 {
+				t.Fatalf("pixel %v out of [0,1]", p)
+			}
+			if p != 0 && p != 1 {
+				analog = true
+			}
+		}
+	}
+	if !analog {
+		t.Fatal("analog mode produced only hard bits")
+	}
+}
+
+func TestPatternsDeterministic(t *testing.T) {
+	cfg := PatternConfig{Classes: 4, Features: 16}
+	a, _ := GeneratePatterns(cfg, 5, rng.New(7))
+	b, _ := GeneratePatterns(cfg, 5, rng.New(7))
+	for i := range a.Samples {
+		if a.Samples[i].Label != b.Samples[i].Label {
+			t.Fatal("labels differ for same seed")
+		}
+		for j := range a.Samples[i].Pixels {
+			if a.Samples[i].Pixels[j] != b.Samples[i].Pixels[j] {
+				t.Fatal("pixels differ for same seed")
+			}
+		}
+	}
+}
+
+func TestPatternsSeparable(t *testing.T) {
+	// At modest flip rates the prototypes are linearly separable: samples
+	// of the same class must be closer (Hamming) to their prototype than
+	// to other prototypes on average. Verify indirectly via class purity
+	// of a nearest-centroid rule computed from the data.
+	cfg := PatternConfig{Classes: 5, Features: 64, FlipProb: 0.05}
+	set, err := GeneratePatterns(cfg, 40, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class centroids.
+	cent := make([][]float64, 5)
+	n := make([]int, 5)
+	for k := range cent {
+		cent[k] = make([]float64, 64)
+	}
+	for _, s := range set.Samples {
+		for i, p := range s.Pixels {
+			cent[s.Label][i] += p
+		}
+		n[s.Label]++
+	}
+	for k := range cent {
+		for i := range cent[k] {
+			cent[k][i] /= float64(n[k])
+		}
+	}
+	correct := 0
+	for _, s := range set.Samples {
+		best, bestD := -1, 1e18
+		for k := range cent {
+			d := 0.0
+			for i, p := range s.Pixels {
+				diff := p - cent[k][i]
+				d += diff * diff
+			}
+			if d < bestD {
+				bestD, best = d, k
+			}
+		}
+		if best == s.Label {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(set.Len()); frac < 0.95 {
+		t.Fatalf("nearest-centroid purity %.3f, want >= 0.95", frac)
+	}
+}

@@ -1,0 +1,233 @@
+// Package device implements a behavioural memristor model: bounded
+// log-resistance state, the exponential-in-voltage switching dynamics of
+// bipolar RRAM (paper reference [12], Fig. 1(a)), closed-form programming
+// pulse pre-calculation, lognormal parametric (device-to-device)
+// variation, cycle-to-cycle switching variation, and stuck-at defects.
+//
+// The model is the substrate under every training scheme in this
+// repository:
+//
+//   - OLD pre-calculates pulses with PulseForTarget and applies them once;
+//     parametric variation then corrupts the landed resistance.
+//   - CLD applies many small pulses and observes the result through the
+//     sense chain; the nonlinearity of ApplyPulse under IR-drop-degraded
+//     voltages produces the beta/D effects of paper Sec. 3.2.
+//   - AMP pre-testing senses each device to estimate its variation factor.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Nominal resistance bounds used throughout the paper's evaluation.
+const (
+	RonNominal  = 10e3 // on-state (low) resistance, 10 kOhm
+	RoffNominal = 1e6  // off-state (high) resistance, 1 MOhm
+)
+
+// DefectKind enumerates fabrication defects.
+type DefectKind uint8
+
+const (
+	// DefectNone is a healthy device.
+	DefectNone DefectKind = iota
+	// DefectStuckLRS is stuck at the low-resistance state.
+	DefectStuckLRS
+	// DefectStuckHRS is stuck at the high-resistance state.
+	DefectStuckHRS
+)
+
+// String implements fmt.Stringer.
+func (d DefectKind) String() string {
+	switch d {
+	case DefectNone:
+		return "none"
+	case DefectStuckLRS:
+		return "stuck-LRS"
+	case DefectStuckHRS:
+		return "stuck-HRS"
+	default:
+		return fmt.Sprintf("DefectKind(%d)", uint8(d))
+	}
+}
+
+// SwitchModel captures the programming dynamics
+//
+//	dx/dt = -k * sinh(V / V0)   (x = ln R; positive V drives R down, SET)
+//
+// The sinh nonlinearity provides the half-select immunity exploited by the
+// V/2 programming scheme: at half bias the switching rate is smaller by
+// roughly exp(Vprog/(2*V0)), so unselected cells barely move.
+type SwitchModel struct {
+	K     float64 // rate constant, d(ln R)/dt per unit sinh [1/s]
+	V0    float64 // voltage scale of the nonlinearity [V]
+	Vprog float64 // nominal full programming voltage magnitude [V]
+	Ron   float64 // lower resistance bound [Ohm]
+	Roff  float64 // upper resistance bound [Ohm]
+}
+
+// DefaultSwitchModel returns the model used in the paper's experiments:
+// Ron 10k, Roff 1M, 2.9 V programming, and a voltage scale that makes the
+// half-select switching rate ~3 orders of magnitude below full bias,
+// matching the Fig. 1(a) discussion (2.9 V vs 1.45 V).
+func DefaultSwitchModel() SwitchModel {
+	return SwitchModel{
+		K:     4.65,
+		V0:    0.2,
+		Vprog: 2.9,
+		Ron:   RonNominal,
+		Roff:  RoffNominal,
+	}
+}
+
+// Validate reports whether the model parameters are physically sensible.
+func (m SwitchModel) Validate() error {
+	switch {
+	case m.K <= 0:
+		return errors.New("device: K must be positive")
+	case m.V0 <= 0:
+		return errors.New("device: V0 must be positive")
+	case m.Vprog <= 0:
+		return errors.New("device: Vprog must be positive")
+	case m.Ron <= 0 || m.Roff <= m.Ron:
+		return errors.New("device: need 0 < Ron < Roff")
+	}
+	return nil
+}
+
+// Rate returns |dx/dt| at voltage magnitude v.
+func (m SwitchModel) Rate(v float64) float64 {
+	return m.K * math.Sinh(math.Abs(v)/m.V0)
+}
+
+// XMin and XMax are the bounds of the log-resistance state.
+func (m SwitchModel) XMin() float64 { return math.Log(m.Ron) }
+
+// XMax returns ln(Roff), the upper log-resistance bound.
+func (m SwitchModel) XMax() float64 { return math.Log(m.Roff) }
+
+// Pulse is a programming pulse: a signed voltage and a width. Positive
+// voltage is SET polarity (drives resistance down).
+type Pulse struct {
+	Voltage float64 // signed [V]
+	Width   float64 // [s], non-negative
+}
+
+// PulseForTarget computes the pulse that moves a nominal device from
+// log-resistance x to xt at the model's full programming voltage. This is
+// the open-loop pre-calculation of paper Sec. 2.2.2: "once the targeted
+// memristor resistance value and the programming voltage magnitude are
+// decided, the required programming pulse width can be obtained by
+// referring to the switching model".
+func (m SwitchModel) PulseForTarget(x, xt float64) Pulse {
+	dx := xt - x
+	if dx == 0 {
+		return Pulse{}
+	}
+	w := math.Abs(dx) / m.Rate(m.Vprog)
+	if dx < 0 {
+		// Resistance must decrease: SET polarity (positive voltage).
+		return Pulse{Voltage: m.Vprog, Width: w}
+	}
+	return Pulse{Voltage: -m.Vprog, Width: w}
+}
+
+// Advance returns the new log-resistance after applying a pulse with
+// the given *delivered* voltage (which may be degraded by IR-drop) for the
+// given width, clamped to the state bounds.
+func (m SwitchModel) Advance(x float64, p Pulse) float64 {
+	if p.Width <= 0 || p.Voltage == 0 {
+		return clamp(x, m.XMin(), m.XMax())
+	}
+	dx := m.Rate(p.Voltage) * p.Width
+	if p.Voltage > 0 {
+		x -= dx // SET: toward Ron
+	} else {
+		x += dx // RESET: toward Roff
+	}
+	return clamp(x, m.XMin(), m.XMax())
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Memristor is one cross-point device. The ideal (driven) state is X;
+// the observable resistance includes the fabrication-time parametric
+// variation factor e^Theta, so R = exp(X + Theta). Driving X exactly to a
+// target ln(Rt) therefore lands the observable resistance at Rt*e^Theta —
+// the lognormal variation model of paper reference [14].
+type Memristor struct {
+	X      float64    // ideal log-resistance state, in [ln Ron, ln Roff]
+	Theta  float64    // parametric variation, fixed at fabrication
+	Defect DefectKind // stuck-at defect, if any
+}
+
+// NewMemristor returns a healthy device initialized to the high-resistance
+// state with the given parametric variation.
+func NewMemristor(m SwitchModel, theta float64) Memristor {
+	return Memristor{X: m.XMax(), Theta: theta}
+}
+
+// Resistance returns the observable resistance of the device.
+func (d *Memristor) Resistance(m SwitchModel) float64 {
+	switch d.Defect {
+	case DefectStuckLRS:
+		return m.Ron * math.Exp(d.Theta)
+	case DefectStuckHRS:
+		return m.Roff * math.Exp(d.Theta)
+	}
+	return math.Exp(d.X + d.Theta)
+}
+
+// Conductance returns 1/Resistance.
+func (d *Memristor) Conductance(m SwitchModel) float64 {
+	return 1 / d.Resistance(m)
+}
+
+// Program applies a pulse with the given delivered voltage. cycleNoise is
+// an extra additive perturbation of the achieved delta-x modeling
+// cycle-to-cycle switching variation; pass 0 for a noiseless model.
+// Defective devices ignore programming.
+func (d *Memristor) Program(m SwitchModel, p Pulse, cycleNoise float64) {
+	if d.Defect != DefectNone {
+		return
+	}
+	before := d.X
+	after := m.Advance(d.X, p)
+	moved := after - before
+	if cycleNoise != 0 && moved != 0 {
+		// Switching variation scales with the amount of switching.
+		after = clamp(before+moved*(1+cycleNoise), m.XMin(), m.XMax())
+	}
+	d.X = after
+}
+
+// SetState forces the ideal state to ln(r) clamped to bounds; used to
+// initialize simulations. Defective devices are unaffected observably but
+// the field is still updated for bookkeeping.
+func (d *Memristor) SetState(m SwitchModel, r float64) {
+	if r <= 0 {
+		panic("device: non-positive resistance")
+	}
+	d.X = clamp(math.Log(r), m.XMin(), m.XMax())
+}
+
+// VariationFactor returns e^Theta, the multiplicative deviation between
+// the driven and the observable resistance.
+func (d *Memristor) VariationFactor() float64 { return math.Exp(d.Theta) }
+
+// HalfSelectImmunity returns the ratio of switching rates at full vs half
+// programming voltage — a figure of merit for the V/2 scheme. Larger is
+// better; DefaultSwitchModel gives ~1.4e3.
+func (m SwitchModel) HalfSelectImmunity() float64 {
+	return m.Rate(m.Vprog) / m.Rate(m.Vprog/2)
+}

@@ -1,0 +1,291 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vortex/internal/rng"
+	"vortex/internal/stats"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultSwitchModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := DefaultSwitchModel()
+	bad := []SwitchModel{
+		{K: 0, V0: base.V0, Vprog: base.Vprog, Ron: base.Ron, Roff: base.Roff},
+		{K: base.K, V0: -1, Vprog: base.Vprog, Ron: base.Ron, Roff: base.Roff},
+		{K: base.K, V0: base.V0, Vprog: 0, Ron: base.Ron, Roff: base.Roff},
+		{K: base.K, V0: base.V0, Vprog: base.Vprog, Ron: 0, Roff: base.Roff},
+		{K: base.K, V0: base.V0, Vprog: base.Vprog, Ron: 2e6, Roff: 1e6},
+	}
+	for i, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPulseForTargetRoundTrip(t *testing.T) {
+	m := DefaultSwitchModel()
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		x := m.XMin() + src.Float64()*(m.XMax()-m.XMin())
+		xt := m.XMin() + src.Float64()*(m.XMax()-m.XMin())
+		p := m.PulseForTarget(x, xt)
+		got := m.Advance(x, p)
+		return math.Abs(got-xt) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPulsePolarity(t *testing.T) {
+	m := DefaultSwitchModel()
+	// Moving to lower resistance needs positive (SET) voltage.
+	p := m.PulseForTarget(m.XMax(), m.XMin())
+	if p.Voltage <= 0 {
+		t.Fatalf("SET pulse voltage = %v, want > 0", p.Voltage)
+	}
+	p = m.PulseForTarget(m.XMin(), m.XMax())
+	if p.Voltage >= 0 {
+		t.Fatalf("RESET pulse voltage = %v, want < 0", p.Voltage)
+	}
+	p = m.PulseForTarget(12, 12)
+	if p.Width != 0 {
+		t.Fatal("no-op pulse should have zero width")
+	}
+}
+
+func TestAdvanceClamps(t *testing.T) {
+	m := DefaultSwitchModel()
+	// Over-long SET pulse must clamp at XMin.
+	x := m.Advance(m.XMax(), Pulse{Voltage: m.Vprog, Width: 1})
+	if x != m.XMin() {
+		t.Fatalf("x = %v, want XMin %v", x, m.XMin())
+	}
+	x = m.Advance(m.XMin(), Pulse{Voltage: -m.Vprog, Width: 1})
+	if x != m.XMax() {
+		t.Fatalf("x = %v, want XMax %v", x, m.XMax())
+	}
+	// Zero-width and zero-voltage pulses are no-ops (modulo clamping).
+	if m.Advance(12, Pulse{}) != 12 {
+		t.Fatal("zero pulse moved the state")
+	}
+}
+
+func TestHalfSelectImmunity(t *testing.T) {
+	m := DefaultSwitchModel()
+	imm := m.HalfSelectImmunity()
+	if imm < 500 {
+		t.Fatalf("half-select immunity = %v, want >= 500 for a credible V/2 scheme", imm)
+	}
+	// The paper's qualitative claim: a half-selected cell moves
+	// negligibly during a full-range programming pulse.
+	full := m.PulseForTarget(m.XMax(), m.XMin()) // worst-case longest pulse
+	half := Pulse{Voltage: full.Voltage / 2, Width: full.Width}
+	x := m.Advance(m.XMax(), half)
+	moved := m.XMax() - x
+	fullRange := m.XMax() - m.XMin()
+	if moved/fullRange > 0.01 {
+		t.Fatalf("half-selected cell moved %.2f%% of full range", 100*moved/fullRange)
+	}
+}
+
+func TestVoltageNonlinearity(t *testing.T) {
+	// Paper Fig. 1(a): small programming-voltage reduction causes a large
+	// change in achieved resistance. Check the achieved delta-x at 2.8 V
+	// is much smaller than at 2.9 V for the same pulse.
+	m := DefaultSwitchModel()
+	w := 1e-7
+	dxFull := m.Rate(2.9) * w
+	dxLess := m.Rate(2.8) * w
+	if dxLess/dxFull > 0.7 {
+		t.Fatalf("rate ratio at -0.1V = %v, want strong nonlinearity (< 0.7)", dxLess/dxFull)
+	}
+}
+
+func TestMemristorResistanceWithVariation(t *testing.T) {
+	m := DefaultSwitchModel()
+	d := NewMemristor(m, 0.3)
+	d.SetState(m, 50e3)
+	want := 50e3 * math.Exp(0.3)
+	r := d.Resistance(m)
+	if math.Abs(r-want)/want > 1e-12 {
+		t.Fatalf("R = %v, want %v", r, want)
+	}
+	if g := d.Conductance(m); math.Abs(g*r-1) > 1e-12 {
+		t.Fatal("Conductance is not 1/R")
+	}
+	if vf := d.VariationFactor(); math.Abs(vf-math.Exp(0.3)) > 1e-12 {
+		t.Fatalf("VariationFactor = %v", vf)
+	}
+}
+
+func TestSetStateClampsAndPanics(t *testing.T) {
+	m := DefaultSwitchModel()
+	var d Memristor
+	d.SetState(m, 1) // below Ron: clamp
+	if d.X != m.XMin() {
+		t.Fatal("SetState did not clamp low")
+	}
+	d.SetState(m, 1e9)
+	if d.X != m.XMax() {
+		t.Fatal("SetState did not clamp high")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive resistance")
+		}
+	}()
+	d.SetState(m, 0)
+}
+
+func TestOpenLoopProgrammingLandsAtLogNormalTarget(t *testing.T) {
+	// The core OLD failure mode (paper Sec. 3.1): open-loop programming of
+	// N devices to the same target produces lognormal-spread resistances.
+	m := DefaultSwitchModel()
+	src := rng.New(42)
+	sigma := 0.4
+	target := 30e3
+	n := 20000
+	rs := make([]float64, n)
+	for i := range rs {
+		d := NewMemristor(m, src.Normal(0, sigma))
+		p := m.PulseForTarget(d.X, math.Log(target))
+		d.Program(m, p, 0)
+		rs[i] = d.Resistance(m)
+	}
+	mu, sd, err := stats.FitLogNormal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mu-math.Log(target)) > 0.01 {
+		t.Fatalf("log-mean = %v, want %v", mu, math.Log(target))
+	}
+	if math.Abs(sd-sigma) > 0.01 {
+		t.Fatalf("log-std = %v, want %v", sd, sigma)
+	}
+}
+
+func TestDefectsIgnoreProgramming(t *testing.T) {
+	m := DefaultSwitchModel()
+	for _, kind := range []DefectKind{DefectStuckLRS, DefectStuckHRS} {
+		d := NewMemristor(m, 0)
+		d.Defect = kind
+		before := d.Resistance(m)
+		d.Program(m, m.PulseForTarget(d.X, math.Log(50e3)), 0)
+		if d.Resistance(m) != before {
+			t.Fatalf("%v device changed resistance under programming", kind)
+		}
+	}
+	d := NewMemristor(m, 0)
+	d.Defect = DefectStuckLRS
+	if r := d.Resistance(m); r != m.Ron {
+		t.Fatalf("stuck-LRS R = %v, want Ron", r)
+	}
+	d.Defect = DefectStuckHRS
+	if r := d.Resistance(m); r != m.Roff {
+		t.Fatalf("stuck-HRS R = %v, want Roff", r)
+	}
+}
+
+func TestDefectKindString(t *testing.T) {
+	if DefectNone.String() != "none" ||
+		DefectStuckLRS.String() != "stuck-LRS" ||
+		DefectStuckHRS.String() != "stuck-HRS" {
+		t.Fatal("DefectKind strings wrong")
+	}
+	if DefectKind(9).String() == "" {
+		t.Fatal("unknown defect kind should still render")
+	}
+}
+
+func TestCycleNoiseScalesWithSwitching(t *testing.T) {
+	m := DefaultSwitchModel()
+	// A no-op pulse must not pick up cycle noise.
+	d := NewMemristor(m, 0)
+	x0 := d.X
+	d.Program(m, Pulse{}, 0.5)
+	if d.X != x0 {
+		t.Fatal("cycle noise applied to a no-op pulse")
+	}
+	// A real pulse with positive noise overshoots, with negative noise
+	// undershoots.
+	target := math.Log(100e3)
+	p := m.PulseForTarget(x0, target)
+	dPos := NewMemristor(m, 0)
+	dPos.Program(m, p, 0.1)
+	dNeg := NewMemristor(m, 0)
+	dNeg.Program(m, p, -0.1)
+	if !(dPos.X < target && dNeg.X > target) {
+		t.Fatalf("noise polarity wrong: pos=%v neg=%v target=%v", dPos.X, dNeg.X, target)
+	}
+}
+
+func TestDegradedVoltageUnderprograms(t *testing.T) {
+	// IR-drop mechanism: the same pulse at a lower delivered voltage moves
+	// the state dramatically less (nonlinear sinh dependence).
+	m := DefaultSwitchModel()
+	p := m.PulseForTarget(m.XMax(), math.Log(100e3))
+	dFull := NewMemristor(m, 0)
+	dFull.Program(m, p, 0)
+	dDeg := NewMemristor(m, 0)
+	dDeg.Program(m, Pulse{Voltage: p.Voltage * 0.9, Width: p.Width}, 0)
+	movedFull := m.XMax() - dFull.X
+	movedDeg := m.XMax() - dDeg.X
+	if movedDeg/movedFull > 0.5 {
+		t.Fatalf("10%% voltage degradation only reduced switching to %v of full", movedDeg/movedFull)
+	}
+}
+
+func BenchmarkProgram(b *testing.B) {
+	m := DefaultSwitchModel()
+	d := NewMemristor(m, 0.1)
+	p := m.PulseForTarget(d.X, math.Log(50e3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Program(m, p, 0)
+	}
+}
+
+func TestRateMonotoneInVoltage(t *testing.T) {
+	// The switching rate must be strictly increasing in |V| — the property
+	// the V/2 scheme, IR-drop analysis and pulse pre-calculation all rely
+	// on.
+	m := DefaultSwitchModel()
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		v1 := src.Float64() * m.Vprog
+		v2 := v1 + 1e-6 + src.Float64()
+		return m.Rate(v2) > m.Rate(v1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Rate is even in V (bipolar symmetric magnitude).
+	if m.Rate(-2.0) != m.Rate(2.0) {
+		t.Fatal("Rate must depend on |V| only")
+	}
+}
+
+func TestPulseWidthMonotoneInDistance(t *testing.T) {
+	// Longer moves need longer pulses at fixed voltage.
+	m := DefaultSwitchModel()
+	x := m.XMax()
+	prev := -1.0
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.8, 1.0} {
+		xt := x - frac*(m.XMax()-m.XMin())
+		w := m.PulseForTarget(x, xt).Width
+		if w <= prev {
+			t.Fatalf("pulse width not monotone at frac=%v", frac)
+		}
+		prev = w
+	}
+}

@@ -1,0 +1,78 @@
+package device
+
+import (
+	"errors"
+	"math"
+
+	"vortex/internal/rng"
+)
+
+// Retention drift: the resistance of a programmed oxide memristor relaxes
+// over time, empirically following a power law
+//
+//	R(t) = R(t0) * (t / t0)^nu
+//
+// with a small per-device drift exponent nu (positive: resistance creeps
+// up as the conduction filament relaxes). Drift is a second-order effect
+// the paper leaves to future work, but any deployed NCS must budget for
+// it; the library models it so the retention experiment can quantify how
+// long a Vortex-trained crossbar stays accurate and how a drift-aware
+// variation margin extends that.
+
+// DriftModel describes the retention drift statistics of a device
+// population.
+type DriftModel struct {
+	NuMean  float64 // mean drift exponent; ~0.01-0.1 for oxide RRAM
+	NuSigma float64 // device-to-device spread of the exponent
+	T0      float64 // reference time at which programming is complete [s]
+}
+
+// DefaultDriftModel returns a mid-range oxide-RRAM drift population.
+func DefaultDriftModel() DriftModel {
+	return DriftModel{NuMean: 0.03, NuSigma: 0.01, T0: 1}
+}
+
+// Validate checks the drift parameters.
+func (d DriftModel) Validate() error {
+	if d.NuSigma < 0 {
+		return errors.New("device: negative drift spread")
+	}
+	if d.T0 <= 0 {
+		return errors.New("device: non-positive reference time")
+	}
+	return nil
+}
+
+// SampleNu draws one device's drift exponent.
+func (d DriftModel) SampleNu(src *rng.Source) float64 {
+	return d.NuMean + d.NuSigma*src.Norm()
+}
+
+// LogShift returns the additive log-resistance shift accumulated between
+// T0 and t for a device with exponent nu: nu * ln(t/T0). Times at or
+// before T0 produce no shift.
+func (d DriftModel) LogShift(nu, t float64) float64 {
+	if t <= d.T0 {
+		return 0
+	}
+	return nu * math.Log(t/d.T0)
+}
+
+// EquivalentSigma returns the standard deviation of the drift-induced
+// log-resistance shift across the population at time t — the quantity a
+// drift-aware training margin adds (in quadrature) to the fabrication
+// sigma. The mean shift acts as a common-mode scale factor largely
+// cancelled by differential sensing; the spread does the damage.
+func (d DriftModel) EquivalentSigma(t float64) float64 {
+	if t <= d.T0 {
+		return 0
+	}
+	return d.NuSigma * math.Log(t/d.T0)
+}
+
+// Drift applies retention drift to the device: the observable resistance
+// is multiplied by (t/T0)^nu by shifting the variation offset, so the
+// driven state (what re-programming would move) is untouched.
+func (dev *Memristor) Drift(model DriftModel, nu, t float64) {
+	dev.Theta += model.LogShift(nu, t)
+}

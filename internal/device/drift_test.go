@@ -1,0 +1,105 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"vortex/internal/rng"
+	"vortex/internal/stats"
+)
+
+func TestDriftModelValidate(t *testing.T) {
+	if err := DefaultDriftModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (DriftModel{NuSigma: -1, T0: 1}).Validate() == nil {
+		t.Fatal("expected error for negative spread")
+	}
+	if (DriftModel{T0: 0}).Validate() == nil {
+		t.Fatal("expected error for zero reference time")
+	}
+}
+
+func TestLogShiftPowerLaw(t *testing.T) {
+	d := DriftModel{NuMean: 0.05, T0: 1}
+	// R(t)/R(t0) = (t/t0)^nu  <=>  delta ln R = nu ln(t/t0).
+	nu := 0.05
+	for _, tm := range []float64{10, 1e3, 1e6} {
+		want := nu * math.Log(tm)
+		if got := d.LogShift(nu, tm); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("LogShift(%v) = %v, want %v", tm, got, want)
+		}
+	}
+	if d.LogShift(nu, 0.5) != 0 {
+		t.Fatal("no drift before the reference time")
+	}
+}
+
+func TestDriftShiftsObservableNotDriven(t *testing.T) {
+	m := DefaultSwitchModel()
+	d := NewMemristor(m, 0)
+	d.SetState(m, 50e3)
+	model := DefaultDriftModel()
+	before := d.Resistance(m)
+	x := d.X
+	d.Drift(model, 0.05, 1e4)
+	after := d.Resistance(m)
+	want := before * math.Pow(1e4, 0.05)
+	if math.Abs(after-want)/want > 1e-12 {
+		t.Fatalf("drifted R = %v, want %v", after, want)
+	}
+	if d.X != x {
+		t.Fatal("drift must not move the driven state")
+	}
+}
+
+func TestDriftReprogrammable(t *testing.T) {
+	// Refreshing (re-programming with verify-style offset cancelation)
+	// can undo drift because the driven state still has range.
+	m := DefaultSwitchModel()
+	d := NewMemristor(m, 0)
+	d.SetState(m, 50e3)
+	d.Drift(DefaultDriftModel(), 0.05, 1e6)
+	// Program the driven state against the (now nonzero) offset.
+	target := math.Log(50e3) - d.Theta
+	d.Program(m, m.PulseForTarget(d.X, target), 0)
+	if r := d.Resistance(m); math.Abs(r-50e3)/50e3 > 1e-9 {
+		t.Fatalf("refresh missed: R = %v", r)
+	}
+}
+
+func TestEquivalentSigmaGrowsWithLogTime(t *testing.T) {
+	model := DefaultDriftModel()
+	prev := -1.0
+	for _, tm := range []float64{1, 10, 1e3, 1e6, 1e9} {
+		s := model.EquivalentSigma(tm)
+		if s < prev {
+			t.Fatalf("equivalent sigma not monotone at t=%v", tm)
+		}
+		prev = s
+	}
+	if model.EquivalentSigma(0.5) != 0 {
+		t.Fatal("no equivalent sigma before reference time")
+	}
+	// Value check: nuSigma * ln(t).
+	want := model.NuSigma * math.Log(1e6)
+	if got := model.EquivalentSigma(1e6); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EquivalentSigma = %v, want %v", got, want)
+	}
+}
+
+func TestSampleNuStatistics(t *testing.T) {
+	model := DriftModel{NuMean: 0.04, NuSigma: 0.015, T0: 1}
+	src := rng.New(5)
+	nus := make([]float64, 20000)
+	for i := range nus {
+		nus[i] = model.SampleNu(src)
+	}
+	mean, sd := stats.MeanStd(nus)
+	if math.Abs(mean-0.04) > 0.001 {
+		t.Fatalf("nu mean = %v", mean)
+	}
+	if math.Abs(sd-0.015) > 0.001 {
+		t.Fatalf("nu sd = %v", sd)
+	}
+}

@@ -1,0 +1,63 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPulseForTarget checks the pre-calculation/advance round trip over
+// arbitrary state pairs: the pulse computed for (x -> xt) must land
+// exactly on xt (within float tolerance) for states inside the device
+// range, and Advance must always clamp into the range.
+func FuzzPulseForTarget(f *testing.F) {
+	m := DefaultSwitchModel()
+	f.Add(m.XMin(), m.XMax())
+	f.Add(11.5, 12.0)
+	f.Add(13.0, 9.5)
+	f.Fuzz(func(t *testing.T, x, xt float64) {
+		if math.IsNaN(x) || math.IsNaN(xt) || math.IsInf(x, 0) || math.IsInf(xt, 0) {
+			t.Skip()
+		}
+		// Clamp the fuzzed states into the representable range, as every
+		// caller does.
+		cl := func(v float64) float64 {
+			if v < m.XMin() {
+				return m.XMin()
+			}
+			if v > m.XMax() {
+				return m.XMax()
+			}
+			return v
+		}
+		x, xt = cl(x), cl(xt)
+		p := m.PulseForTarget(x, xt)
+		if p.Width < 0 {
+			t.Fatalf("negative pulse width %v", p.Width)
+		}
+		got := m.Advance(x, p)
+		if math.Abs(got-xt) > 1e-9 {
+			t.Fatalf("Advance landed at %v, want %v", got, xt)
+		}
+		if got < m.XMin()-1e-12 || got > m.XMax()+1e-12 {
+			t.Fatalf("state %v escaped the device range", got)
+		}
+	})
+}
+
+// FuzzAdvance checks clamping under arbitrary pulses.
+func FuzzAdvance(f *testing.F) {
+	m := DefaultSwitchModel()
+	f.Add(11.5, 2.9, 1e-6)
+	f.Add(12.0, -2.9, 1.0)
+	f.Fuzz(func(t *testing.T, x, v, w float64) {
+		if math.IsNaN(x) || math.IsNaN(v) || math.IsNaN(w) ||
+			math.IsInf(x, 0) || math.IsInf(v, 0) || math.IsInf(w, 0) ||
+			math.Abs(v) > 100 || w < 0 || w > 1e6 {
+			t.Skip()
+		}
+		got := m.Advance(x, Pulse{Voltage: v, Width: w})
+		if got < m.XMin() || got > m.XMax() {
+			t.Fatalf("Advance(%v, %v, %v) = %v escaped the range", x, v, w, got)
+		}
+	})
+}

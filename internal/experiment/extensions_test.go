@@ -1,0 +1,123 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSchemesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	res, err := Schemes(Quick, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sigmas) != 2 {
+		t.Fatal("quick scheme sweep should have 2 sigmas")
+	}
+	hi := len(res.Sigmas) - 1
+	// At the highest sigma, the variation-tolerant schemes must beat OLD.
+	if res.PV[hi] <= res.OLD[hi] {
+		t.Fatalf("PV (%.3f) did not beat OLD (%.3f) at sigma=%.1f",
+			res.PV[hi], res.OLD[hi], res.Sigmas[hi])
+	}
+	if res.Vortex[hi] <= res.OLD[hi] {
+		t.Fatalf("Vortex (%.3f) did not beat OLD (%.3f) at sigma=%.1f",
+			res.Vortex[hi], res.OLD[hi], res.Sigmas[hi])
+	}
+	// OLD must degrade with sigma.
+	if res.OLD[hi] >= res.OLD[0] {
+		t.Fatalf("OLD did not degrade with sigma: %.3f -> %.3f", res.OLD[0], res.OLD[hi])
+	}
+	if !strings.Contains(res.Table(), "Vortex") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestDefectsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	res, err := Defects(Quick, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Rates) - 1
+	// Defects must cost accuracy without AMP.
+	if res.WithoutAMP[last] >= res.WithoutAMP[0] {
+		t.Fatalf("defects did not hurt the unmapped system: %.3f -> %.3f",
+			res.WithoutAMP[0], res.WithoutAMP[last])
+	}
+	// AMP must recover a good part of the loss at the highest defect rate.
+	if res.WithAMP[last] <= res.WithoutAMP[last] {
+		t.Fatalf("AMP (%.3f) did not beat no-AMP (%.3f) at defect rate %.2f",
+			res.WithAMP[last], res.WithoutAMP[last], res.Rates[last])
+	}
+	if !strings.Contains(res.Table(), "defect") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestCostShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	res, err := Cost(Quick, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schemes) != 4 {
+		t.Fatalf("schemes = %v", res.Schemes)
+	}
+	idx := map[string]int{}
+	for i, s := range res.Schemes {
+		idx[s] = i
+	}
+	// CLD's iterative loop must cost the most pulses; OLD the fewest
+	// (among the array-programming schemes, modulo Vortex's pre-testing).
+	if res.Pulses[idx["CLD"]] <= res.Pulses[idx["OLD"]] {
+		t.Fatalf("CLD pulses (%d) not above OLD (%d)",
+			res.Pulses[idx["CLD"]], res.Pulses[idx["OLD"]])
+	}
+	for i := range res.Schemes {
+		if res.Pulses[i] <= 0 || res.Energy[i] <= 0 {
+			t.Fatalf("scheme %s has empty cost accounting", res.Schemes[i])
+		}
+	}
+	if !strings.Contains(res.Table(), "energy") {
+		t.Fatal("table rendering broken")
+	}
+}
+
+func TestMappersShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	res, err := Mappers(Quick, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := map[string]int{}
+	for i, s := range res.Names {
+		idx[s] = i
+	}
+	// SWV ordering: hungarian <= greedy <= identity (hungarian is the
+	// exact optimum of the objective).
+	if res.SWV[idx["hungarian"]] > res.SWV[idx["greedy"]]+1e-9 {
+		t.Fatalf("hungarian SWV (%v) above greedy (%v)",
+			res.SWV[idx["hungarian"]], res.SWV[idx["greedy"]])
+	}
+	if res.SWV[idx["greedy"]] >= res.SWV[idx["identity"]] {
+		t.Fatalf("greedy SWV (%v) not below identity (%v)",
+			res.SWV[idx["greedy"]], res.SWV[idx["identity"]])
+	}
+	// Informed mappers must out-test the identity mapping.
+	if res.TestRate[idx["greedy"]] <= res.TestRate[idx["identity"]] {
+		t.Fatalf("greedy test rate (%.3f) not above identity (%.3f)",
+			res.TestRate[idx["greedy"]], res.TestRate[idx["identity"]])
+	}
+	if !strings.Contains(res.Table(), "hungarian") {
+		t.Fatal("table rendering broken")
+	}
+}

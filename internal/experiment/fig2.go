@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"math"
+
+	"vortex/internal/adc"
+	"vortex/internal/device"
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+	"vortex/internal/stats"
+	"vortex/internal/xbar"
+)
+
+// Fig2Result holds the Monte-Carlo output-discrepancy series of paper
+// Fig. 2: one 100-memristor column trained to emit 1 mA at 1 V inputs,
+// with the relative output discrepancy of OLD and CLD versus the device
+// variation sigma.
+type Fig2Result struct {
+	Sigmas  []float64
+	OLDMean []float64 // mean |I - 1mA| / 1mA after open-loop programming
+	OLDStd  []float64
+	CLDMean []float64 // same after close-loop training
+	CLDStd  []float64
+	Runs    int
+}
+
+func (r *Fig2Result) cells() ([]string, [][]string) {
+	rows := make([][]string, len(r.Sigmas))
+	for i := range r.Sigmas {
+		rows[i] = []string{
+			f3(r.Sigmas[i]),
+			pct(r.OLDMean[i]), pct(r.OLDStd[i]),
+			pct(r.CLDMean[i]), pct(r.CLDStd[i]),
+		}
+	}
+	return []string{"sigma", "OLD err%", "OLD sd%", "CLD err%", "CLD sd%"}, rows
+}
+
+// Table renders the result as an aligned text table.
+func (r *Fig2Result) Table() string { return textTable(r.cells()) }
+
+// CSV renders the result as comma-separated values for plotting.
+func (r *Fig2Result) CSV() string { return csvTable(r.cells()) }
+
+const (
+	fig2Cells   = 100
+	fig2Target  = 1e-3  // 1 mA
+	fig2Vin     = 1.0   // 1 V on every row
+	fig2RTarget = 100e3 // per-cell resistance hitting the 1 mA goal
+)
+
+// Fig2 runs the column-training Monte-Carlo of paper Sec. 3.1 / Fig. 2.
+// The per-sigma runs execute concurrently; each run seeds its own rng
+// from (seed, sigma index, run index), so the result is deterministic.
+func Fig2(scale Scale, seed uint64) (*Fig2Result, error) {
+	runs := map[Scale]int{Quick: 40, Default: 250, Full: 1000}[scale]
+	sigmas := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	res := &Fig2Result{Sigmas: sigmas, Runs: runs}
+
+	conv, err := adc.NewConverter(6, 0, 2*fig2Target)
+	if err != nil {
+		return nil, err
+	}
+	vin := mat.Constant(fig2Cells, fig2Vin)
+
+	type runErrs struct{ old, cld float64 }
+	for si, sigma := range sigmas {
+		sigma := sigma
+		si := si
+		results, err := parallelMap(runs, func(run int) (runErrs, error) {
+			src := rng.New(seed ^ uint64(si)<<40 ^ uint64(run)*0x9e3779b97f4a7c15)
+			// The sense chain holds no state, but give each worker its
+			// own to keep the data-race detector quiet about the shared
+			// converter pointer.
+			chain := adc.NewSenseChain(conv, 1, nil)
+			cfg := xbar.Config{
+				Rows:  fig2Cells,
+				Cols:  1,
+				Model: device.DefaultSwitchModel(),
+				Sigma: sigma,
+			}
+			xb, err := xbar.New(cfg, src)
+			if err != nil {
+				return runErrs{}, err
+			}
+			// OLD: one open-loop pass to the pre-calculated target.
+			targets := mat.NewMatrix(fig2Cells, 1)
+			targets.Fill(fig2RTarget)
+			if err := xb.ProgramTargets(targets, xbar.ProgramOptions{}); err != nil {
+				return runErrs{}, err
+			}
+			i := xb.ReadIdeal(vin)[0]
+			oldErr := math.Abs(i-fig2Target) / fig2Target
+
+			// CLD: reuse the same fabricated column, reset, and train with
+			// output feedback through the 6-bit ADC.
+			xb.ResetAll()
+			if err := cldColumn(xb, chain, vin); err != nil {
+				return runErrs{}, err
+			}
+			i = xb.ReadIdeal(vin)[0]
+			return runErrs{old: oldErr, cld: math.Abs(i-fig2Target) / fig2Target}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		oldErr := make([]float64, runs)
+		cldErr := make([]float64, runs)
+		for r, v := range results {
+			oldErr[r] = v.old
+			cldErr[r] = v.cld
+		}
+		om, os := stats.MeanStd(oldErr)
+		cm, cs := stats.MeanStd(cldErr)
+		res.OLDMean = append(res.OLDMean, om)
+		res.OLDStd = append(res.OLDStd, os)
+		res.CLDMean = append(res.CLDMean, cm)
+		res.CLDStd = append(res.CLDStd, cs)
+	}
+	return res, nil
+}
+
+// cldColumn trains one column close-loop: sense the summed current
+// through the ADC, spread the conductance correction uniformly over the
+// cells, program with pre-calculated pulses, iterate.
+func cldColumn(xb *xbar.Crossbar, chain *adc.SenseChain, vin []float64) error {
+	model := xb.Config().Model
+	cells := xb.Rows()
+	// Controller belief of each cell's conductance (dead reckoning from
+	// the known HRS reset state).
+	belief := mat.Constant(cells, 1/model.Roff)
+	lsb := fig2Target / 32 // effective resolution floor of the 6-bit chain
+	for iter := 0; iter < 80; iter++ {
+		sensed := chain.Sense(xb.ReadIdeal(vin)[0])
+		e := fig2Target - sensed
+		if math.Abs(e) < lsb/2 {
+			return nil
+		}
+		dg := e / (fig2Vin * float64(cells))
+		pulses := make([]xbar.CellPulse, 0, cells)
+		for c := 0; c < cells; c++ {
+			cur := belief[c]
+			next := cur + dg
+			if next < 1/model.Roff {
+				next = 1 / model.Roff
+			} else if next > 1/model.Ron {
+				next = 1 / model.Ron
+			}
+			if next == cur {
+				continue
+			}
+			p := model.PulseForTarget(-math.Log(cur), -math.Log(next))
+			belief[c] = next
+			if p.Width > 0 {
+				pulses = append(pulses, xbar.CellPulse{Row: c, Col: 0, Pulse: p})
+			}
+		}
+		if len(pulses) == 0 {
+			return nil
+		}
+		if err := xb.ProgramBatch(pulses, xbar.ProgramOptions{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

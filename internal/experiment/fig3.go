@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"vortex/internal/device"
+	"vortex/internal/irdrop"
+	"vortex/internal/mat"
+)
+
+// Fig3Result quantifies the IR-drop decomposition of paper Sec. 3.2 /
+// Fig. 3: for all-LRS crossbars of growing column length, the horizontal
+// degradation coefficient beta and the vertical D-matrix skew
+// (d_max/d_min) of the middle column, plus the delivered-voltage range.
+type Fig3Result struct {
+	RowsList  []int
+	Beta      []float64 // mean D factor (effective learning-rate shrink)
+	DSkew     []float64 // max/min of the D diagonal — paper's d11/dnn
+	VTop      []float64 // delivered programming voltage at the top cell [V]
+	VBottom   []float64 // delivered programming voltage at the bottom cell [V]
+	RWire     float64
+	Crossover int // smallest size whose skew exceeds 2 (0 if none)
+}
+
+func (r *Fig3Result) cells() ([]string, [][]string) {
+	rows := make([][]string, len(r.RowsList))
+	for i, m := range r.RowsList {
+		rows[i] = []string{
+			intS(m), f3(r.Beta[i]), f3(r.DSkew[i]), f3(r.VTop[i]), f3(r.VBottom[i]),
+		}
+	}
+	return []string{"rows", "beta", "d_max/d_min", "V_top", "V_bottom"}, rows
+}
+
+// Table renders the result as an aligned text table.
+func (r *Fig3Result) Table() string { return textTable(r.cells()) }
+
+// CSV renders the result as comma-separated values for plotting.
+func (r *Fig3Result) CSV() string { return csvTable(r.cells()) }
+
+// Fig3 sweeps the crossbar size and extracts beta and the D-matrix skew
+// in the worst case (all memristors at LRS), as in the paper's analysis.
+// The scale only selects how many sizes are swept.
+func Fig3(scale Scale, _ uint64) (*Fig3Result, error) {
+	var sizes []int
+	switch scale {
+	case Quick:
+		sizes = []int{16, 64, 192}
+	case Full:
+		sizes = []int{16, 32, 64, 96, 128, 192, 256, 384, 512, 784}
+	default:
+		sizes = []int{16, 32, 64, 128, 256, 512}
+	}
+	model := device.DefaultSwitchModel()
+	res := &Fig3Result{RowsList: sizes, RWire: 2.5}
+	for _, m := range sizes {
+		g := mat.NewMatrix(m, 10)
+		g.Fill(1 / model.Ron)
+		nw := irdrop.NewNetwork(g, res.RWire)
+		col := 5 // middle column
+		d, err := nw.DFactors(col, model.Vprog, model.Rate)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := d[0], d[0]
+		for _, x := range d[1:] {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		beta, err := nw.Beta(col, model.Vprog, model.Rate)
+		if err != nil {
+			return nil, err
+		}
+		vTop, err := nw.ProgramVoltage(0, col, model.Vprog)
+		if err != nil {
+			return nil, err
+		}
+		vBottom, err := nw.ProgramVoltage(m-1, col, model.Vprog)
+		if err != nil {
+			return nil, err
+		}
+		res.Beta = append(res.Beta, beta)
+		res.DSkew = append(res.DSkew, hi/lo)
+		res.VTop = append(res.VTop, vTop)
+		res.VBottom = append(res.VBottom, vBottom)
+		if res.Crossover == 0 && hi/lo > 2 {
+			res.Crossover = m
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"vortex/internal/dataset"
+	"vortex/internal/opt"
+	"vortex/internal/rng"
+	"vortex/internal/stats"
+	"vortex/internal/train"
+	"vortex/internal/xbar"
+)
+
+// Fig4Result holds the variation-tolerance/training-rate tradeoff curves
+// of paper Fig. 4: at each penalty scale gamma, the software training
+// rate, the test rate without variation, and the test rate with
+// variation measured on Monte-Carlo fabricated hardware.
+type Fig4Result struct {
+	Sigma        float64
+	Gammas       []float64
+	TrainRate    []float64
+	TestClean    []float64
+	TestWithVar  []float64
+	BestGamma    float64 // argmax of TestWithVar
+	BestTestRate float64
+}
+
+func (r *Fig4Result) cells() ([]string, [][]string) {
+	rows := make([][]string, len(r.Gammas))
+	for i := range r.Gammas {
+		sel := ""
+		if r.Gammas[i] == r.BestGamma {
+			sel = "<- peak"
+		}
+		rows[i] = []string{
+			f3(r.Gammas[i]), pct(r.TrainRate[i]), pct(r.TestClean[i]),
+			pct(r.TestWithVar[i]), sel,
+		}
+	}
+	return []string{"gamma", "train%", "test% (w/o var)", "test% (w/ var)", ""}, rows
+}
+
+// Table renders the result as an aligned text table.
+func (r *Fig4Result) Table() string { return textTable(r.cells()) }
+
+// CSV renders the result as comma-separated values for plotting.
+func (r *Fig4Result) CSV() string { return csvTable(r.cells()) }
+
+// Fig4 sweeps gamma at a fixed fabrication sigma (0.6, the paper's later
+// default) and measures the tradeoff of Sec. 4.1.2. Test-with-variation
+// is measured on freshly fabricated crossbar pairs programmed open loop
+// with the VAT weights, averaged over the protocol's MC runs.
+func Fig4(scale Scale, seed uint64) (*Fig4Result, error) {
+	p := protoFor(scale)
+	trainSet, testSet, err := digitSets(p, seed)
+	if err != nil {
+		return nil, err
+	}
+	const sigma = 0.6
+	gammas := []float64{0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5}
+	res := &Fig4Result{Sigma: sigma, Gammas: gammas}
+	xTrain, lTrain := trainSet.ToMatrix()
+	xTest, lTest := testSet.ToMatrix()
+	rho := stats.ThetaNormBound(sigma, trainSet.Features(), 0.9)
+	src := rng.New(seed + 7)
+
+	for _, gamma := range gammas {
+		w, err := opt.TrainAll(xTrain, lTrain, dataset.NumClasses, gamma, rho, p.sgd, src.Split())
+		if err != nil {
+			return nil, err
+		}
+		res.TrainRate = append(res.TrainRate, opt.Accuracy(xTrain, lTrain, w))
+		res.TestClean = append(res.TestClean, opt.Accuracy(xTest, lTest, w))
+
+		// Hardware test rate with variation, averaged over fabrications.
+		var sum float64
+		for mc := 0; mc < p.mcRuns; mc++ {
+			n, err := buildNCS(trainSet.Features(), 0, sigma, 0, 6, seed+100*uint64(mc)+11)
+			if err != nil {
+				return nil, err
+			}
+			if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+				return nil, err
+			}
+			rate, err := n.Evaluate(testSet)
+			if err != nil {
+				return nil, err
+			}
+			sum += rate
+		}
+		res.TestWithVar = append(res.TestWithVar, sum/float64(p.mcRuns))
+	}
+	best := 0
+	for i, v := range res.TestWithVar {
+		if v > res.TestWithVar[best] {
+			best = i
+		}
+	}
+	res.BestGamma = gammas[best]
+	res.BestTestRate = res.TestWithVar[best]
+	return res, nil
+}
+
+// Fig4SelfTuned runs the Fig. 5 self-tuning loop on the same protocol and
+// reports the gamma it selects — used to confirm the automatic scan picks
+// (near) the measured peak.
+func Fig4SelfTuned(scale Scale, seed uint64) (float64, []train.GammaPoint, error) {
+	p := protoFor(scale)
+	trainSet, _, err := digitSets(p, seed)
+	if err != nil {
+		return 0, nil, err
+	}
+	_, gamma, curve, err := train.SelfTune(trainSet, train.SelfTuneConfig{
+		Sigma:  0.6,
+		MCRuns: p.mcRuns,
+		SGD:    p.sgd,
+	}, rng.New(seed+13))
+	return gamma, curve, err
+}

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// intS formats an int for table cells.
+func intS(v int) string { return strconv.Itoa(v) }
+
+// textTable renders an aligned plain-text table: a header row followed by
+// data rows, columns padded to the widest cell.
+func textTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// csvTable renders header and rows as RFC-4180-ish comma-separated
+// values (cells are simple numbers and identifiers; quoting is applied
+// only when a cell contains a comma or quote).
+func csvTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(strings.TrimSpace(c))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// pct formats a rate as a percentage with one decimal.
+func pct(x float64) string { return fmt.Sprintf("%.1f", 100*x) }
+
+// f3 formats a float with three decimals.
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// sci formats a float in compact scientific notation for table cells.
+func sci(x float64) string { return fmt.Sprintf("%.3g", x) }

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextTableAlignment(t *testing.T) {
+	out := textTable(
+		[]string{"a", "long header", "x"},
+		[][]string{
+			{"1", "2", "3"},
+			{"wide cell", "4", "5"},
+		})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines, want 4", len(lines))
+	}
+	// All rows padded to the same visual width per column: the separator
+	// row has dashes as wide as the widest cell.
+	if !strings.HasPrefix(lines[1], strings.Repeat("-", len("wide cell"))) {
+		t.Fatalf("separator not sized to widest cell: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "long header") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestCSVTableQuoting(t *testing.T) {
+	out := csvTable(
+		[]string{"plain", "with,comma", `with"quote`},
+		[][]string{{"a", "b,c", `d"e`}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != `plain,"with,comma","with""quote"` {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `a,"b,c","d""e"` {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestFormattersRound(t *testing.T) {
+	if pct(0.8571) != "85.7" {
+		t.Fatalf("pct = %q", pct(0.8571))
+	}
+	if f3(0.12345) != "0.123" {
+		t.Fatalf("f3 = %q", f3(0.12345))
+	}
+	if intS(-42) != "-42" {
+		t.Fatalf("intS = %q", intS(-42))
+	}
+	if sci(1234.5) != "1.23e+03" {
+		t.Fatalf("sci = %q", sci(1234.5))
+	}
+}
+
+func TestResultCSVHeadersMatchTables(t *testing.T) {
+	// Every tabular result must emit the same header cells in both forms.
+	r := &Fig3Result{
+		RowsList: []int{16},
+		Beta:     []float64{0.7},
+		DSkew:    []float64{1.2},
+		VTop:     []float64{2.8},
+		VBottom:  []float64{2.9},
+	}
+	table := r.Table()
+	csv := r.CSV()
+	if !strings.Contains(table, "d_max/d_min") || !strings.Contains(csv, "d_max/d_min") {
+		t.Fatal("header missing from a rendering")
+	}
+	if !strings.HasPrefix(csv, "rows,beta,") {
+		t.Fatalf("csv header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+}

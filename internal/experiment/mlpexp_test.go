@@ -1,0 +1,33 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMLPShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	res, err := MLP(Quick, 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The MLP must learn something real even at quick scale (the clean
+	// advantage over the linear model shows at Default scale; see
+	// EXPERIMENTS.md).
+	if res.CleanMLP < 0.45 {
+		t.Fatalf("clean MLP %.3f implausibly low (linear %.3f)",
+			res.CleanMLP, res.CleanLinear)
+	}
+	for i := range res.Sigmas {
+		// Noise injection must beat plain BP on varied hardware.
+		if res.MLPInjected[i] <= res.MLPPlain[i] {
+			t.Fatalf("sigma=%.1f: injected (%.3f) not above plain (%.3f)",
+				res.Sigmas[i], res.MLPInjected[i], res.MLPPlain[i])
+		}
+	}
+	if !strings.Contains(res.Table(), "MLP") {
+		t.Fatal("table rendering broken")
+	}
+}

@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelMap evaluates fn(0..n-1) concurrently on up to GOMAXPROCS
+// workers and returns the results in index order. Every fn call must be
+// independent and deterministic in its index (the experiment drivers
+// derive a fresh rng seed from the index), so the output is identical to
+// a sequential loop regardless of scheduling. The first error wins and
+// cancels nothing — remaining calls still run to completion, which is
+// fine for the pure-compute workloads here.
+func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// parallelMean runs fn over n indices concurrently and returns the mean
+// of the results.
+func parallelMean(n int, fn func(i int) (float64, error)) (float64, error) {
+	vals, err := parallelMap(n, fn)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMapOrdersResults(t *testing.T) {
+	out, err := parallelMap(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestParallelMapEmpty(t *testing.T) {
+	out, err := parallelMap(0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatal("empty map should be trivial")
+	}
+}
+
+func TestParallelMapPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := parallelMap(50, func(i int) (int, error) {
+		if i == 17 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestParallelMapRunsAll(t *testing.T) {
+	var count atomic.Int64
+	_, err := parallelMap(200, func(i int) (struct{}, error) {
+		count.Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 200 {
+		t.Fatalf("ran %d of 200", count.Load())
+	}
+}
+
+func TestParallelMean(t *testing.T) {
+	m, err := parallelMean(4, func(i int) (float64, error) { return float64(i), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 1.5 {
+		t.Fatalf("mean = %v, want 1.5", m)
+	}
+}
+
+func TestParallelMapDeterministic(t *testing.T) {
+	// Two runs over a non-trivial function must agree exactly.
+	fn := func(i int) (float64, error) {
+		x := float64(i)
+		for k := 0; k < 100; k++ {
+			x = x*1.0000001 + 0.5
+		}
+		return x, nil
+	}
+	a, err := parallelMap(64, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallelMap(64, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run-to-run mismatch at %d", i)
+		}
+	}
+}

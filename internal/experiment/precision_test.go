@@ -1,0 +1,30 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrecisionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	res, err := Precision(Quick, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Levels) - 1
+	// Ternary weights must cost accuracy relative to fine programming.
+	if res.CleanRate[0] >= res.CleanRate[last]-0.02 {
+		t.Fatalf("1-level clean rate %.3f not clearly below %d-level %.3f",
+			res.CleanRate[0], res.Levels[last], res.CleanRate[last])
+	}
+	// Fine-grained write precision must roughly recover the continuous
+	// clean rate (no catastrophic loss).
+	if res.CleanRate[last] < 0.5 {
+		t.Fatalf("fine-precision clean rate %.3f implausibly low", res.CleanRate[last])
+	}
+	if !strings.Contains(res.Table(), "write levels") {
+		t.Fatal("table rendering broken")
+	}
+}

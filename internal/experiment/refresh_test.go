@@ -1,0 +1,33 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRefreshShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	res, err := Refresh(Quick, 39)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Times) - 1
+	// Unrefreshed decays; refreshed holds near the fresh rate.
+	if res.NoRefresh[last] >= res.NoRefresh[0]-0.02 {
+		t.Fatalf("unrefreshed system did not decay: %.3f -> %.3f",
+			res.NoRefresh[0], res.NoRefresh[last])
+	}
+	if res.Refreshed[last] <= res.NoRefresh[last] {
+		t.Fatalf("refresh did not help at the horizon: %.3f vs %.3f",
+			res.Refreshed[last], res.NoRefresh[last])
+	}
+	if res.Refreshes < 2 || res.PulseCost <= 0 {
+		t.Fatalf("refresh accounting wrong: %d refreshes, %d pulses",
+			res.Refreshes, res.PulseCost)
+	}
+	if !strings.Contains(res.Table(), "refresh") {
+		t.Fatal("table rendering broken")
+	}
+}

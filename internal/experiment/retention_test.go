@@ -1,0 +1,34 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRetentionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	res, err := Retention(Quick, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.Times) - 1
+	// Plain training must decay with age.
+	if res.Plain[last] >= res.Plain[0]-0.02 {
+		t.Fatalf("plain Vortex did not decay: %.3f -> %.3f", res.Plain[0], res.Plain[last])
+	}
+	// The drift-aware margin must decay less than the plain margin (the
+	// paired statistic is robust at quick scale, where the absolute
+	// endpoint comparison is noise-bound; the Default-scale benchmark
+	// shows the full crossover).
+	plainDecay := res.Plain[0] - res.Plain[last]
+	awareDecay := res.DriftAware[0] - res.DriftAware[last]
+	if awareDecay >= plainDecay {
+		t.Fatalf("drift-aware decayed more (%.3f) than plain (%.3f)",
+			awareDecay, plainDecay)
+	}
+	if !strings.Contains(res.Table(), "age") {
+		t.Fatal("table rendering broken")
+	}
+}

@@ -1,0 +1,35 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTilingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training sweep")
+	}
+	res, err := Tiling(Quick, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(res.TileRows) - 1
+	// Raw (uncompensated) programming must improve with shorter tiles.
+	if res.RateRaw[last] <= res.RateRaw[0] {
+		t.Fatalf("tiling did not rescue raw programming: %.3f -> %.3f",
+			res.RateRaw[0], res.RateRaw[last])
+	}
+	// Compensated programming should be roughly flat (compensation already
+	// nulls IR-drop); tiles must not hurt it badly.
+	if res.RateComp[last] < res.RateComp[0]-0.08 {
+		t.Fatalf("tiling hurt compensated programming: %.3f -> %.3f",
+			res.RateComp[0], res.RateComp[last])
+	}
+	// Periphery cost grows with tiling.
+	if res.Channels[last] <= res.Channels[0] {
+		t.Fatal("sense-channel accounting wrong")
+	}
+	if !strings.Contains(res.Table(), "monolithic") {
+		t.Fatal("table rendering broken")
+	}
+}

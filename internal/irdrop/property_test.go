@@ -1,0 +1,98 @@
+package irdrop
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+)
+
+// TestReciprocityProperty re-verifies the adjoint trick on random
+// geometries and conductance draws: Weff columns from reciprocity solves
+// must match direct unit-vector probing everywhere.
+func TestReciprocityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		m := 2 + src.Intn(12)
+		n := 1 + src.Intn(6)
+		g := mat.NewMatrix(m, n)
+		for i := range g.Data {
+			g.Data[i] = 1e-6 + src.Float64()*(1e-4-1e-6)
+		}
+		rwire := 0.5 + 5*src.Float64()
+		nw := NewNetwork(g, rwire)
+		weff, err := nw.EffectiveWeights()
+		if err != nil {
+			return false
+		}
+		// Probe one random row.
+		i := src.Intn(m)
+		e := make([]float64, m)
+		e[i] = 1
+		y, err := nw.Read(e)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < n; j++ {
+			if math.Abs(y[j]-weff.At(i, j)) > 1e-8*math.Abs(y[j])+1e-13 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeffMonotoneInRWire: more wire resistance can only lose signal —
+// every effective weight shrinks (or holds) as RWire grows.
+func TestWeffMonotoneInRWire(t *testing.T) {
+	g := randomConductances(71, 12, 5)
+	prev, err := NewNetwork(g, 0.1).EffectiveWeights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rw := range []float64{1, 5, 20} {
+		cur, err := NewNetwork(g, rw).EffectiveWeights()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cur.Data {
+			if cur.Data[i] > prev.Data[i]*(1+1e-9) {
+				t.Fatalf("Weff grew with wire resistance at rw=%v", rw)
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestWeffBoundedByG: parasitics cannot create conductance — every
+// effective weight is positive and at most the cell conductance.
+func TestWeffBoundedByG(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		m := 2 + src.Intn(10)
+		n := 1 + src.Intn(5)
+		g := mat.NewMatrix(m, n)
+		for i := range g.Data {
+			g.Data[i] = 1e-6 + src.Float64()*(1e-4-1e-6)
+		}
+		nw := NewNetwork(g, 1+4*src.Float64())
+		weff, err := nw.EffectiveWeights()
+		if err != nil {
+			return false
+		}
+		for i := range weff.Data {
+			if weff.Data[i] <= 0 || weff.Data[i] > g.Data[i]*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package irdrop
+
+import (
+	"errors"
+	"math"
+
+	"vortex/internal/mat"
+)
+
+// Floating-line analysis: the classic sneak-path problem appears when
+// unselected word/bit lines are left floating instead of being driven.
+// A floating line settles wherever its cells pull it, so current can
+// "sneak" through chains of half-selected cells and corrupt a single-cell
+// measurement. The paper's pre-test protocol (Sec. 4.2.1) avoids this by
+// keeping every other cell at HRS and all lines driven; SolveMasked
+// quantifies exactly how much that discipline buys.
+
+// LineMask marks which lines are actively driven; false = floating
+// (high impedance). A floating row ignores its vrow entry; a floating
+// column ignores its vcol entry.
+type LineMask struct {
+	Rows []bool
+	Cols []bool
+}
+
+// AllDriven returns a mask with every line driven.
+func AllDriven(rows, cols int) LineMask {
+	m := LineMask{Rows: make([]bool, rows), Cols: make([]bool, cols)}
+	for i := range m.Rows {
+		m.Rows[i] = true
+	}
+	for j := range m.Cols {
+		m.Cols[j] = true
+	}
+	return m
+}
+
+// SolveMasked computes node voltages like Solve, but lines whose mask
+// entry is false are left floating: their driver/termination segment is
+// removed and the line equilibrates through its cells alone.
+func (nw *Network) SolveMasked(vrow, vcol []float64, mask LineMask) (*Solution, error) {
+	m, n := nw.Rows, nw.Cols
+	if len(vrow) != m || len(vcol) != n {
+		panic("irdrop: SolveMasked dimension mismatch")
+	}
+	if len(mask.Rows) != m || len(mask.Cols) != n {
+		panic("irdrop: mask dimension mismatch")
+	}
+	if nw.RWire == 0 {
+		return nil, errors.New("irdrop: floating-line analysis needs RWire > 0 (ideal wires have no unique floating solution)")
+	}
+	gw := 1 / nw.RWire
+	u := mat.NewMatrix(m, n)
+	w := mat.NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if mask.Rows[i] {
+				u.Set(i, j, vrow[i])
+			}
+			if mask.Cols[j] {
+				w.Set(i, j, vcol[j])
+			}
+		}
+	}
+	k := n
+	if m > k {
+		k = m
+	}
+	a := make([]float64, k)
+	b := make([]float64, k)
+	c := make([]float64, k)
+	d := make([]float64, k)
+
+	tol := nw.tol()
+	for sweep := 0; sweep < nw.maxSweep(); sweep++ {
+		maxDelta := 0.0
+		for i := 0; i < m; i++ {
+			grow := nw.G.Row(i)
+			urow := u.Row(i)
+			wrow := w.Row(i)
+			for j := 0; j < n; j++ {
+				g := grow[j]
+				diag := g
+				rhs := g * wrow[j]
+				if j == 0 && mask.Rows[i] {
+					diag += gw
+					rhs += gw * vrow[i]
+				}
+				if j > 0 {
+					diag += gw
+					a[j] = -gw
+				}
+				if j < n-1 {
+					diag += gw
+					c[j] = -gw
+				}
+				if diag == 0 {
+					diag = 1e-30 // fully isolated node; hold at zero
+				}
+				b[j] = diag
+				d[j] = rhs
+			}
+			thomas(a[:n], b[:n], c[:n], d[:n])
+			for j := 0; j < n; j++ {
+				if dv := math.Abs(d[j] - urow[j]); dv > maxDelta {
+					maxDelta = dv
+				}
+				urow[j] = d[j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				g := nw.G.At(i, j)
+				diag := g
+				rhs := g * u.At(i, j)
+				if i == m-1 && mask.Cols[j] {
+					diag += gw
+					rhs += gw * vcol[j]
+				}
+				if i > 0 {
+					diag += gw
+					a[i] = -gw
+				}
+				if i < m-1 {
+					diag += gw
+					c[i] = -gw
+				}
+				if diag == 0 {
+					diag = 1e-30
+				}
+				b[i] = diag
+				d[i] = rhs
+			}
+			thomas(a[:m], b[:m], c[:m], d[:m])
+			for i := 0; i < m; i++ {
+				if dv := math.Abs(d[i] - w.At(i, j)); dv > maxDelta {
+					maxDelta = dv
+				}
+				w.Set(i, j, d[i])
+			}
+		}
+		if maxDelta < tol {
+			return &Solution{U: u, W: w}, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// ReadCellCurrent measures one cell the way a naive in-situ pre-test
+// would: drive row i at vread, sense column j at virtual ground, and
+// treat the other lines per the mask. The returned current includes
+// whatever sneak contribution the floating lines admit; dividing vread by
+// it gives the apparent cell resistance.
+func (nw *Network) ReadCellCurrent(i, j int, vread float64, mask LineMask) (float64, error) {
+	m, n := nw.Rows, nw.Cols
+	if i < 0 || i >= m || j < 0 || j >= n {
+		panic("irdrop: cell out of range")
+	}
+	vrow := make([]float64, m)
+	vrow[i] = vread
+	vcol := make([]float64, n)
+	mask.Rows[i] = true // the selected lines are always driven
+	mask.Cols[j] = true
+	sol, err := nw.SolveMasked(vrow, vcol, mask)
+	if err != nil {
+		return 0, err
+	}
+	gw := 1 / nw.RWire
+	return gw * (sol.W.At(m-1, j) - vcol[j]), nil
+}

@@ -1,0 +1,176 @@
+package mapping
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+)
+
+// bruteForceAssign finds the optimal assignment by enumerating all
+// injective mappings — an oracle for small instances.
+func bruteForceAssign(cost *mat.Matrix) ([]int, float64) {
+	n, m := cost.Rows, cost.Cols
+	best := math.Inf(1)
+	var bestMap []int
+	cur := make([]int, n)
+	used := make([]bool, m)
+	var rec func(i int, sum float64)
+	rec = func(i int, sum float64) {
+		if sum >= best {
+			return
+		}
+		if i == n {
+			best = sum
+			bestMap = append([]int(nil), cur...)
+			return
+		}
+		for j := 0; j < m; j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			cur[i] = j
+			rec(i+1, sum+cost.At(i, j))
+			used[j] = false
+		}
+	}
+	rec(0, 0)
+	return bestMap, best
+}
+
+func assignCost(cost *mat.Matrix, m []int) float64 {
+	s := 0.0
+	for i, j := range m {
+		s += cost.At(i, j)
+	}
+	return s
+}
+
+func TestAssignMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 1 + src.Intn(5)
+		m := n + src.Intn(3)
+		cost := mat.NewMatrix(n, m)
+		for i := range cost.Data {
+			cost.Data[i] = src.Float64() * 10
+		}
+		got, err := Assign(cost)
+		if err != nil {
+			return false
+		}
+		// Must be injective.
+		seen := make(map[int]bool)
+		for _, j := range got {
+			if j < 0 || j >= m || seen[j] {
+				return false
+			}
+			seen[j] = true
+		}
+		_, bestCost := bruteForceAssign(cost)
+		return math.Abs(assignCost(cost, got)-bestCost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignEdgeCases(t *testing.T) {
+	if r, err := Assign(mat.NewMatrix(0, 0)); err != nil || r != nil {
+		t.Fatal("empty assignment should be nil, nil")
+	}
+	if _, err := Assign(mat.NewMatrix(3, 2)); err == nil {
+		t.Fatal("expected error for n > m")
+	}
+	// 1x1.
+	one := mat.FromRows([][]float64{{5}})
+	r, err := Assign(one)
+	if err != nil || len(r) != 1 || r[0] != 0 {
+		t.Fatalf("1x1 assignment = %v, %v", r, err)
+	}
+}
+
+func TestAssignKnown(t *testing.T) {
+	// Classic example: optimal is the anti-diagonal.
+	cost := mat.FromRows([][]float64{
+		{10, 1},
+		{1, 10},
+	})
+	r, err := Assign(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r[0] != 1 || r[1] != 0 {
+		t.Fatalf("assignment = %v, want [1 0]", r)
+	}
+}
+
+func TestOptimalBeatsOrMatchesGreedy(t *testing.T) {
+	for trial := uint64(0); trial < 20; trial++ {
+		w := randWeights(trial, 15, 5)
+		fp := randFactors(trial+40, 18, 5, 0.6)
+		fn := randFactors(trial+80, 18, 5, 0.6)
+		greedy, err := Greedy(w, fp, fn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optimal, err := Optimal(w, fp, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg := TotalSWV(w, fp, fn, greedy)
+		so := TotalSWV(w, fp, fn, optimal)
+		if so > sg+1e-9 {
+			t.Fatalf("trial %d: optimal SWV %v worse than greedy %v", trial, so, sg)
+		}
+	}
+}
+
+func TestOptimalValidation(t *testing.T) {
+	w := randWeights(1, 4, 2)
+	if _, err := Optimal(w, randFactors(2, 3, 2, 0.1), randFactors(3, 3, 2, 0.1)); err == nil {
+		t.Fatal("expected error for too few physical rows")
+	}
+	if _, err := Optimal(w, randFactors(2, 4, 3, 0.1), randFactors(3, 4, 3, 0.1)); err == nil {
+		t.Fatal("expected column mismatch error")
+	}
+	if _, err := Optimal(w, randFactors(2, 4, 2, 0.1), randFactors(3, 5, 2, 0.1)); err == nil {
+		t.Fatal("expected factor disagreement error")
+	}
+}
+
+func TestRandomMapping(t *testing.T) {
+	src := rng.New(9)
+	m, err := Random(10, 15, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 10 {
+		t.Fatalf("len = %d", len(m))
+	}
+	seen := make(map[int]bool)
+	for _, q := range m {
+		if q < 0 || q >= 15 || seen[q] {
+			t.Fatal("random mapping not injective into range")
+		}
+		seen[q] = true
+	}
+	if _, err := Random(5, 3, src); err == nil {
+		t.Fatal("expected error for too few physical rows")
+	}
+}
+
+func BenchmarkOptimal196x226(b *testing.B) {
+	w := randWeights(1, 196, 10)
+	fp := randFactors(2, 226, 10, 0.6)
+	fn := randFactors(3, 226, 10, 0.6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimal(w, fp, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vortex/internal/rng"
+)
+
+func TestSolveTridiagKnown(t *testing.T) {
+	// [2 1 0; 1 2 1; 0 1 2] x = [4 8 8] -> x = [1 2 3].
+	a := []float64{0, 1, 1}
+	b := []float64{2, 2, 2}
+	c := []float64{1, 1, 0}
+	d := []float64{4, 8, 8}
+	SolveTridiagInPlace(a, b, c, d)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestSolveTridiagMatchesDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 1 + src.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		c := make([]float64, n)
+		d := make([]float64, n)
+		dense := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			b[i] = 3 + src.Float64() // diagonally dominant
+			d[i] = src.Norm()
+			dense.Set(i, i, b[i])
+			if i > 0 {
+				a[i] = src.Norm() * 0.5
+				dense.Set(i, i-1, a[i])
+			}
+			if i < n-1 {
+				c[i] = src.Norm() * 0.5
+				dense.Set(i, i+1, c[i])
+			}
+		}
+		ref, err := SolveDense(dense, d)
+		if err != nil {
+			return false
+		}
+		SolveTridiagInPlace(a, b, c, d)
+		for i := range ref {
+			if math.Abs(d[i]-ref[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveTridiagEdgeCases(t *testing.T) {
+	// Empty system is a no-op.
+	SolveTridiagInPlace(nil, nil, nil, nil)
+	// 1x1 system.
+	d := []float64{6}
+	SolveTridiagInPlace([]float64{0}, []float64{2}, []float64{0}, d)
+	if d[0] != 3 {
+		t.Fatalf("1x1 solution = %v", d[0])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	SolveTridiagInPlace([]float64{0}, []float64{1, 2}, []float64{0}, []float64{1})
+}
+
+func BenchmarkSolveTridiag1000(b *testing.B) {
+	n := 1000
+	a := make([]float64, n)
+	bb := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	b.ResetTimer()
+	for k := 0; k < b.N; k++ {
+		for i := 0; i < n; i++ {
+			bb[i] = 4
+			a[i] = -1
+			c[i] = -1
+			d[i] = 1
+		}
+		SolveTridiagInPlace(a, bb, c, d)
+	}
+}

@@ -1,0 +1,157 @@
+package mlp
+
+import (
+	"errors"
+
+	"vortex/internal/dataset"
+	"vortex/internal/mat"
+	"vortex/internal/ncs"
+	"vortex/internal/rng"
+	"vortex/internal/stats"
+	"vortex/internal/xbar"
+)
+
+// Hardware is a two-layer network mapped onto two crossbar pairs. The
+// hidden layer's column currents pass through an analog rectifier (ReLU)
+// and a normalizing driver that scales activations into the next layer's
+// [0, 1] input range; the scale is calibrated once after programming.
+type Hardware struct {
+	L1, L2 *ncs.NCS
+	Scale  float64 // activation full scale for the inter-layer driver
+}
+
+// HardwareConfig controls the mapping of a software Net onto crossbars.
+type HardwareConfig struct {
+	Sigma      float64 // device variation of both layers
+	RWire      float64
+	ADCBits    int // output sensing of both layers; default 6
+	Redundancy int // redundant rows for both layers (used only with mapping)
+}
+
+// BuildHardware fabricates both layers and programs the software network
+// open loop (with IR compensation). The inter-layer scale is calibrated
+// on the provided calibration set (typically the training samples) to its
+// 95th-percentile peak activation.
+func BuildHardware(net *Net, hcfg HardwareConfig, calib *dataset.Set, src *rng.Source) (*Hardware, error) {
+	if net == nil || net.W1 == nil || net.W2 == nil {
+		return nil, errors.New("mlp: nil network")
+	}
+	if src == nil {
+		return nil, errors.New("mlp: nil rng source")
+	}
+	// ADCBits: 0 selects the default 6-bit sensing; negative selects
+	// ideal (quantization-free) sensing.
+	adcBits := hcfg.ADCBits
+	if adcBits == 0 {
+		adcBits = 6
+	} else if adcBits < 0 {
+		adcBits = 0
+	}
+	mk := func(inputs, outputs int) (*ncs.NCS, error) {
+		cfg := ncs.DefaultConfig(inputs, outputs)
+		cfg.Sigma = hcfg.Sigma
+		cfg.RWire = hcfg.RWire
+		cfg.ADCBits = adcBits
+		cfg.Redundancy = hcfg.Redundancy
+		return ncs.New(cfg, src.Split())
+	}
+	l1, err := mk(net.W1.Rows, net.W1.Cols)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := mk(net.W2.Rows, net.W2.Cols)
+	if err != nil {
+		return nil, err
+	}
+	opts := xbar.ProgramOptions{CompensateIR: true}
+	if err := l1.ProgramWeights(net.W1, opts); err != nil {
+		return nil, err
+	}
+	if err := l2.ProgramWeights(net.W2, opts); err != nil {
+		return nil, err
+	}
+	hw := &Hardware{L1: l1, L2: l2, Scale: 1}
+	if calib != nil && calib.Len() > 0 {
+		if err := hw.Calibrate(calib); err != nil {
+			return nil, err
+		}
+	}
+	return hw, nil
+}
+
+// Calibrate sets the inter-layer driver scale to the 95th percentile of
+// the peak rectified activation over the set — wide enough that almost
+// nothing clips, tight enough that the drive range is used.
+func (hw *Hardware) Calibrate(set *dataset.Set) error {
+	peaks := make([]float64, 0, set.Len())
+	for _, s := range set.Samples {
+		scores, err := hw.L1.Scores(s.Pixels)
+		if err != nil {
+			return err
+		}
+		peak := 0.0
+		for _, v := range scores {
+			if v > peak {
+				peak = v
+			}
+		}
+		peaks = append(peaks, peak)
+	}
+	p95, err := stats.Percentile(peaks, 95)
+	if err != nil {
+		return err
+	}
+	if p95 <= 0 {
+		return errors.New("mlp: calibration set produces no positive activations")
+	}
+	hw.Scale = p95
+	return nil
+}
+
+// Scores runs the full analog pipeline: layer 1 read, rectify, normalize,
+// layer 2 read.
+func (hw *Hardware) Scores(x []float64) ([]float64, error) {
+	a, err := hw.L1.Scores(x)
+	if err != nil {
+		return nil, err
+	}
+	drive := make([]float64, len(a))
+	for i, v := range a {
+		switch {
+		case v <= 0:
+			drive[i] = 0
+		case v >= hw.Scale:
+			drive[i] = 1 // driver saturates
+		default:
+			drive[i] = v / hw.Scale
+		}
+	}
+	return hw.L2.Scores(drive)
+}
+
+// Classify returns the argmax class for an input.
+func (hw *Hardware) Classify(x []float64) (int, error) {
+	s, err := hw.Scores(x)
+	if err != nil {
+		return 0, err
+	}
+	return mat.ArgMax(s), nil
+}
+
+// Evaluate returns the classification rate over the set.
+func (hw *Hardware) Evaluate(set *dataset.Set) (float64, error) {
+	if set.Len() == 0 {
+		return 0, errors.New("mlp: empty evaluation set")
+	}
+	correct := 0
+	for _, s := range set.Samples {
+		c, err := hw.Classify(s.Pixels)
+		if err != nil {
+			return 0, err
+		}
+		if c == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(set.Len()), nil
+}

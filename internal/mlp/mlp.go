@@ -1,0 +1,258 @@
+// Package mlp extends the paper's single-weight-layer NCS to a two-layer
+// perceptron mapped onto two crossbar pairs with an analog rectifier
+// between them. The paper's introduction motivates deep networks but its
+// evaluation stops at the linear classifier; this package provides the
+// natural next step and the variation-aware training method appropriate
+// for it — multiplicative noise injection during backpropagation, the
+// deep-network analogue of VAT's margin penalty (a per-sample penalty of
+// variations is no longer convex once a hidden layer exists, so the
+// stochastic version is used instead).
+package mlp
+
+import (
+	"errors"
+	"math"
+
+	"vortex/internal/dataset"
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+)
+
+// Net is a software two-layer network: ReLU hidden layer, linear output,
+// trained 1-vs-all with a hinge loss per output column.
+type Net struct {
+	W1 *mat.Matrix // inputs x hidden
+	W2 *mat.Matrix // hidden x outputs
+}
+
+// Config controls training. Zero values select the noted defaults.
+type Config struct {
+	Hidden    int     // hidden units; default 64
+	Epochs    int     // default 40
+	Rate      float64 // default 0.003
+	RateDecay float64 // default 0.97
+	WMax      float64 // weight box (crossbar range); default 1
+
+	// NoiseSigma injects multiplicative lognormal noise e^theta on every
+	// weight during the forward/backward pass (redrawn each epoch) —
+	// training the network to tolerate the device variation it will meet
+	// after programming. 0 disables injection.
+	NoiseSigma float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden <= 0 {
+		c.Hidden = 64
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 40
+	}
+	if c.Rate <= 0 {
+		c.Rate = 0.003
+	}
+	if c.RateDecay <= 0 || c.RateDecay > 1 {
+		c.RateDecay = 0.97
+	}
+	if c.WMax <= 0 {
+		c.WMax = 1
+	}
+	return c
+}
+
+// Train fits a two-layer network on the set with stochastic
+// backpropagation, deterministic in src.
+func Train(set *dataset.Set, classes int, cfg Config, src *rng.Source) (*Net, error) {
+	if set.Len() == 0 {
+		return nil, errors.New("mlp: empty training set")
+	}
+	if src == nil {
+		return nil, errors.New("mlp: nil rng source")
+	}
+	cfg = cfg.withDefaults()
+	in := set.Features()
+	h := cfg.Hidden
+	w1 := mat.NewMatrix(in, h)
+	w2 := mat.NewMatrix(h, classes)
+	// He-style init scaled into the weight box.
+	s1 := math.Sqrt(2/float64(in)) / 2
+	s2 := math.Sqrt(2/float64(h)) / 2
+	for i := range w1.Data {
+		w1.Data[i] = clamp(src.Normal(0, s1), cfg.WMax)
+	}
+	for i := range w2.Data {
+		w2.Data[i] = clamp(src.Normal(0, s2), cfg.WMax)
+	}
+
+	// Noise-injection scratch: the effective (corrupted) weights the
+	// forward/backward pass sees, redrawn for every sample (per-sample
+	// redraw keeps the gradient unbiased; a per-epoch draw would let one
+	// bad corruption steer a whole epoch).
+	e1 := w1
+	e2 := w2
+	if cfg.NoiseSigma > 0 {
+		e1 = mat.NewMatrix(in, h)
+		e2 = mat.NewMatrix(h, classes)
+	}
+	redraw := func() {
+		for i := range w1.Data {
+			e1.Data[i] = w1.Data[i] * src.LogNormal(0, cfg.NoiseSigma)
+		}
+		for i := range w2.Data {
+			e2.Data[i] = w2.Data[i] * src.LogNormal(0, cfg.NoiseSigma)
+		}
+	}
+
+	order := make([]int, set.Len())
+	for i := range order {
+		order[i] = i
+	}
+	rate := cfg.Rate
+	hidden := make([]float64, h)
+	preact := make([]float64, h)
+	dHidden := make([]float64, h)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		src.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			s := set.Samples[idx]
+			if cfg.NoiseSigma > 0 {
+				redraw()
+			}
+			// Forward through the (possibly corrupted) weights.
+			forwardHidden(e1, s.Pixels, preact, hidden)
+			scores := scoresOf(e2, hidden)
+
+			// Hinge gradient at each output column.
+			for k := range dHidden {
+				dHidden[k] = 0
+			}
+			for j := 0; j < classes; j++ {
+				y := dataset.Targets(s.Label, j)
+				if y*scores[j] >= 1 {
+					continue // margin satisfied
+				}
+				// dL/dscore = -y; backprop into W2 and hidden.
+				for k := 0; k < h; k++ {
+					if hidden[k] != 0 {
+						w2.Add(k, j, rate*y*hidden[k])
+						if v := w2.At(k, j); v > cfg.WMax {
+							w2.Set(k, j, cfg.WMax)
+						} else if v < -cfg.WMax {
+							w2.Set(k, j, -cfg.WMax)
+						}
+					}
+					dHidden[k] += y * e2.At(k, j)
+				}
+			}
+			// Through the ReLU into W1.
+			for k := 0; k < h; k++ {
+				if preact[k] <= 0 || dHidden[k] == 0 {
+					continue
+				}
+				g := rate * dHidden[k]
+				for i, x := range s.Pixels {
+					if x == 0 {
+						continue
+					}
+					v := w1.At(i, k) + g*x
+					if v > cfg.WMax {
+						v = cfg.WMax
+					} else if v < -cfg.WMax {
+						v = -cfg.WMax
+					}
+					w1.Set(i, k, v)
+				}
+			}
+		}
+		rate *= cfg.RateDecay
+	}
+	return &Net{W1: w1, W2: w2}, nil
+}
+
+func clamp(v, lim float64) float64 {
+	if v > lim {
+		return lim
+	}
+	if v < -lim {
+		return -lim
+	}
+	return v
+}
+
+// forwardHidden computes the hidden pre-activations and ReLU outputs.
+func forwardHidden(w1 *mat.Matrix, x []float64, preact, hidden []float64) {
+	for k := range preact {
+		preact[k] = 0
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := w1.Row(i)
+		for k, w := range row {
+			preact[k] += xi * w
+		}
+	}
+	for k, v := range preact {
+		if v > 0 {
+			hidden[k] = v
+		} else {
+			hidden[k] = 0
+		}
+	}
+}
+
+func scoresOf(w2 *mat.Matrix, hidden []float64) []float64 {
+	scores := make([]float64, w2.Cols)
+	for k, hk := range hidden {
+		if hk == 0 {
+			continue
+		}
+		row := w2.Row(k)
+		for j, w := range row {
+			scores[j] += hk * w
+		}
+	}
+	return scores
+}
+
+// Scores runs the clean software forward pass.
+func (n *Net) Scores(x []float64) []float64 {
+	h := make([]float64, n.W1.Cols)
+	pre := make([]float64, n.W1.Cols)
+	forwardHidden(n.W1, x, pre, h)
+	return scoresOf(n.W2, h)
+}
+
+// Accuracy is the argmax classification rate of the software network.
+func (n *Net) Accuracy(set *dataset.Set) float64 {
+	if set.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for _, s := range set.Samples {
+		if mat.ArgMax(n.Scores(s.Pixels)) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(set.Len())
+}
+
+// VariedAccuracy evaluates the mean accuracy under multiplicative
+// lognormal weight corruption of both layers, over runs draws.
+func (n *Net) VariedAccuracy(set *dataset.Set, sigma float64, runs int, src *rng.Source) float64 {
+	if runs <= 0 {
+		runs = 1
+	}
+	total := 0.0
+	for r := 0; r < runs; r++ {
+		c := &Net{W1: n.W1.Clone(), W2: n.W2.Clone()}
+		for i := range c.W1.Data {
+			c.W1.Data[i] *= src.LogNormal(0, sigma)
+		}
+		for i := range c.W2.Data {
+			c.W2.Data[i] *= src.LogNormal(0, sigma)
+		}
+		total += c.Accuracy(set)
+	}
+	return total / float64(runs)
+}

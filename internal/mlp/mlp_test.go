@@ -1,0 +1,207 @@
+package mlp
+
+import (
+	"testing"
+
+	"vortex/internal/dataset"
+	"vortex/internal/rng"
+)
+
+func digitSet(t *testing.T, perClass int, seed uint64) *dataset.Set {
+	t.Helper()
+	s, err := dataset.GenerateBalanced(dataset.DefaultConfig(), perClass, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = dataset.Undersample(s, 2, dataset.Decimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestTrainValidation(t *testing.T) {
+	set := digitSet(t, 2, 1)
+	if _, err := Train(&dataset.Set{}, 10, Config{}, rng.New(1)); err == nil {
+		t.Fatal("expected empty-set error")
+	}
+	if _, err := Train(set, 10, Config{}, nil); err == nil {
+		t.Fatal("expected nil-source error")
+	}
+}
+
+func TestTrainLearns(t *testing.T) {
+	trainSet := digitSet(t, 30, 2)
+	testSet := digitSet(t, 15, 3)
+	net, err := Train(trainSet, 10, Config{Hidden: 48, Epochs: 30}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainAcc := net.Accuracy(trainSet)
+	testAcc := net.Accuracy(testSet)
+	t.Logf("MLP train %.3f test %.3f", trainAcc, testAcc)
+	if trainAcc < 0.85 {
+		t.Fatalf("train accuracy %.3f too low", trainAcc)
+	}
+	if testAcc < 0.6 {
+		t.Fatalf("test accuracy %.3f too low", testAcc)
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	set := digitSet(t, 5, 5)
+	a, err := Train(set, 10, Config{Hidden: 16, Epochs: 3}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(set, 10, Config{Hidden: 16, Epochs: 3}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W1.Data {
+		if a.W1.Data[i] != b.W1.Data[i] {
+			t.Fatal("same seed produced different W1")
+		}
+	}
+	for i := range a.W2.Data {
+		if a.W2.Data[i] != b.W2.Data[i] {
+			t.Fatal("same seed produced different W2")
+		}
+	}
+}
+
+func TestWeightsRespectBox(t *testing.T) {
+	set := digitSet(t, 10, 7)
+	net, err := Train(set, 10, Config{Hidden: 24, Epochs: 10, WMax: 0.5, Rate: 0.3}, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range net.W1.Data {
+		if v > 0.5+1e-12 || v < -0.5-1e-12 {
+			t.Fatalf("W1 weight %v escaped the box", v)
+		}
+	}
+	for _, v := range net.W2.Data {
+		if v > 0.5+1e-12 || v < -0.5-1e-12 {
+			t.Fatalf("W2 weight %v escaped the box", v)
+		}
+	}
+}
+
+func TestNoiseInjectionImprovesRobustness(t *testing.T) {
+	// The deep-network analogue of the paper's VAT claim: training with
+	// multiplicative weight noise improves accuracy under weight
+	// corruption, at a small clean-accuracy cost.
+	if testing.Short() {
+		t.Skip("training-based test")
+	}
+	trainSet := digitSet(t, 40, 9)
+	testSet := digitSet(t, 20, 10)
+	sigma := 0.6
+	plain, err := Train(trainSet, 10, Config{Hidden: 48, Epochs: 30}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, err := Train(trainSet, 10, Config{Hidden: 48, Epochs: 30, NoiseSigma: sigma}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 10
+	plainVar := plain.VariedAccuracy(testSet, sigma, runs, rng.New(12))
+	robustVar := robust.VariedAccuracy(testSet, sigma, runs, rng.New(12))
+	t.Logf("varied accuracy: plain %.3f vs noise-injected %.3f", plainVar, robustVar)
+	if robustVar <= plainVar {
+		t.Fatalf("noise injection did not help: %.3f vs %.3f", robustVar, plainVar)
+	}
+}
+
+func TestHardwareMatchesSoftwareWhenIdeal(t *testing.T) {
+	// With no variation, no parasitics and ideal sensing, the hardware
+	// pipeline must agree with the software forward pass sample by
+	// sample (up to driver saturation of >p95 activations).
+	trainSet := digitSet(t, 15, 13)
+	testSet := digitSet(t, 8, 23)
+	net, err := Train(trainSet, 10, Config{Hidden: 32, Epochs: 15}, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := BuildHardware(net, HardwareConfig{ADCBits: -1}, trainSet, rng.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for _, s := range testSet.Samples {
+		hc, err := hw.Classify(s.Pixels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hc == argmax(net.Scores(s.Pixels)) {
+			agree++
+		}
+	}
+	frac := float64(agree) / float64(testSet.Len())
+	if frac < 0.95 {
+		t.Fatalf("hardware agrees with software on only %.2f of samples", frac)
+	}
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestHardwareEndToEnd(t *testing.T) {
+	trainSet := digitSet(t, 20, 16)
+	testSet := digitSet(t, 10, 17)
+	net, err := Train(trainSet, 10, Config{Hidden: 32, Epochs: 20}, rng.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft := net.Accuracy(testSet)
+	hw, err := BuildHardware(net, HardwareConfig{}, trainSet, rng.New(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Scale <= 0 {
+		t.Fatalf("calibrated scale %v", hw.Scale)
+	}
+	rate, err := hw.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("software %.3f vs clean hardware %.3f", soft, rate)
+	// Clean hardware (no variation, 6-bit sensing) should track software
+	// within a few points.
+	if rate < soft-0.1 {
+		t.Fatalf("hardware rate %.3f far below software %.3f", rate, soft)
+	}
+}
+
+func TestHardwareValidation(t *testing.T) {
+	if _, err := BuildHardware(nil, HardwareConfig{}, nil, rng.New(1)); err == nil {
+		t.Fatal("expected nil-network error")
+	}
+	set := digitSet(t, 2, 20)
+	net, err := Train(set, 10, Config{Hidden: 8, Epochs: 1}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildHardware(net, HardwareConfig{}, nil, nil); err == nil {
+		t.Fatal("expected nil-source error")
+	}
+	hw, err := BuildHardware(net, HardwareConfig{}, nil, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Scale != 1 {
+		t.Fatal("uncalibrated scale should stay 1")
+	}
+	if _, err := hw.Evaluate(&dataset.Set{}); err == nil {
+		t.Fatal("expected empty-set error")
+	}
+}

@@ -1,0 +1,132 @@
+package ncs
+
+import (
+	"math"
+	"testing"
+
+	"vortex/internal/adc"
+	"vortex/internal/device"
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+	"vortex/internal/xbar"
+)
+
+func TestNCSAging(t *testing.T) {
+	cfg := DefaultConfig(6, 2)
+	cfg.ADCBits = 0
+	n, err := New(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AgeTo(100); err == nil {
+		t.Fatal("expected error before InitDrift")
+	}
+	if err := n.InitDrift(device.DefaultDriftModel(), nil); err == nil {
+		t.Fatal("expected nil-source error")
+	}
+	if err := n.InitDrift(device.DriftModel{NuMean: 0.05, T0: 1}, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	w := mat.NewMatrix(6, 2)
+	for i := range w.Data {
+		w.Data[i] = 0.5
+	}
+	if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := n.Scores(mat.Constant(6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AgeTo(1e6); err != nil {
+		t.Fatal(err)
+	}
+	after, err := n.Scores(mat.Constant(6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform drift (NuSigma = 0) multiplies every conductance by the
+	// same factor (t)^-nu... in conductance terms, scores scale down.
+	for j := range before {
+		if !(after[j] < before[j]) {
+			t.Fatalf("aging did not reduce score %d: %v -> %v", j, before[j], after[j])
+		}
+		ratio := after[j] / before[j]
+		want := math.Pow(1e6, -0.05)
+		// GOff baseline cancellation makes it approximate.
+		if math.Abs(ratio-want)/want > 0.05 {
+			t.Fatalf("score scale %v, want ~%v", ratio, want)
+		}
+	}
+}
+
+func TestScoresThroughCustomChain(t *testing.T) {
+	cfg := DefaultConfig(4, 2)
+	cfg.ADCBits = 4 // coarse system ADC
+	n, err := New(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mat.NewMatrix(4, 2)
+	w.Fill(0.4)
+	if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, 0.7, 0.2, 0.9}
+	coarse, err := n.Scores(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := n.ScoresThrough(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fineConv, err := adc.NewConverter(12, -n.OutputFullScale(), n.OutputFullScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := n.ScoresThrough(x, adc.NewSenseChain(fineConv, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ideal {
+		eCoarse := math.Abs(coarse[j] - ideal[j])
+		eFine := math.Abs(fine[j] - ideal[j])
+		if eFine > eCoarse {
+			t.Fatalf("12-bit error %v above 4-bit error %v", eFine, eCoarse)
+		}
+	}
+	if _, err := n.ScoresThrough([]float64{1}, nil); err == nil {
+		t.Fatal("expected input length error")
+	}
+}
+
+func TestOutputFullScale(t *testing.T) {
+	cfg := DefaultConfig(8, 2)
+	n, err := New(cfg, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// score8 auto range: 8 * Vread * (GOn-GOff) / WMax.
+	want := 8 * 1.0 * (1e-4 - 1e-6)
+	if got := n.OutputFullScale(); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("full scale = %v, want %v", got, want)
+	}
+	cfg.ADCBits = 0
+	ideal, err := New(cfg, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.OutputFullScale() != 0 {
+		t.Fatal("ideal sensing should report 0 full scale")
+	}
+	cfg.ADCBits = 6
+	cfg.ADCMax = 1e-3
+	fixed, err := New(cfg, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.OutputFullScale() != 1e-3 {
+		t.Fatal("explicit ADCMax not honored")
+	}
+}

@@ -1,0 +1,120 @@
+package ncs
+
+import (
+	"errors"
+	"math"
+
+	"vortex/internal/mat"
+)
+
+// Codec maps signed synaptic weights onto the conductances of the
+// positive/negative crossbar pair (paper Sec. 2.2.1: "W can be
+// represented by two crossbars, which correspond to the absolute values
+// of the positive and negative weights").
+//
+// A weight w in [-WMax, WMax] becomes
+//
+//	g+ = GOff + max(w,0)/WMax*(GOn-GOff)
+//	g- = GOff + max(-w,0)/WMax*(GOn-GOff)
+//
+// and decodes as w = WMax*(g+ - g-)/(GOn - GOff). The GOff floor on the
+// inactive array reflects that an unprogrammed memristor still conducts
+// its off-state current; it cancels exactly in the differential read.
+type Codec struct {
+	GOn, GOff float64 // conductance range of the device [S]
+	WMax      float64 // weight magnitude that maps to full scale
+}
+
+// NewCodec builds a codec; WMax defaults to 1 when zero.
+func NewCodec(gon, goff, wmax float64) (Codec, error) {
+	if goff <= 0 || gon <= goff {
+		return Codec{}, errors.New("ncs: need 0 < GOff < GOn")
+	}
+	if wmax == 0 {
+		wmax = 1
+	}
+	if wmax < 0 {
+		return Codec{}, errors.New("ncs: negative WMax")
+	}
+	return Codec{GOn: gon, GOff: goff, WMax: wmax}, nil
+}
+
+// Encode returns the conductance pair for a weight, clamping to the
+// representable range.
+func (c Codec) Encode(w float64) (gpos, gneg float64) {
+	if w > c.WMax {
+		w = c.WMax
+	} else if w < -c.WMax {
+		w = -c.WMax
+	}
+	span := c.GOn - c.GOff
+	if w >= 0 {
+		return c.GOff + w/c.WMax*span, c.GOff
+	}
+	return c.GOff, c.GOff + (-w)/c.WMax*span
+}
+
+// Decode returns the weight represented by a conductance pair.
+func (c Codec) Decode(gpos, gneg float64) float64 {
+	return c.WMax * (gpos - gneg) / (c.GOn - c.GOff)
+}
+
+// Scale returns the factor that converts a differential current at read
+// voltage vread back into weight units: score = (Ipos - Ineg) * Scale.
+func (c Codec) Scale(vread float64) float64 {
+	return c.WMax / (vread * (c.GOn - c.GOff))
+}
+
+// TargetResistances encodes a logical weight matrix (Inputs x Outputs)
+// into target resistance matrices for the positive and negative arrays of
+// physRows rows, placing logical row i on physical row rowMap[i]. Rows
+// not covered by the map are left at the off resistance.
+func (c Codec) TargetResistances(w *mat.Matrix, rowMap []int, physRows int) (pos, neg *mat.Matrix, err error) {
+	if len(rowMap) != w.Rows {
+		return nil, nil, errors.New("ncs: row map length mismatch")
+	}
+	pos = mat.NewMatrix(physRows, w.Cols)
+	neg = mat.NewMatrix(physRows, w.Cols)
+	roff := 1 / c.GOff
+	pos.Fill(roff)
+	neg.Fill(roff)
+	for i := 0; i < w.Rows; i++ {
+		p := rowMap[i]
+		if p < 0 || p >= physRows {
+			return nil, nil, errors.New("ncs: row map entry out of range")
+		}
+		for j := 0; j < w.Cols; j++ {
+			gp, gn := c.Encode(w.At(i, j))
+			pos.Set(p, j, 1/gp)
+			neg.Set(p, j, 1/gn)
+		}
+	}
+	return pos, neg, nil
+}
+
+// QuantizeLevels rounds a weight to the nearest of the representable
+// levels of an L-level-per-polarity programming DAC: the grid
+// {-WMax, ..., -WMax/L, 0, WMax/L, ..., WMax}. It models write-precision
+// limits — a driver that can only hit L distinct conductance targets per
+// device. L <= 0 means continuous programming (identity).
+func (c Codec) QuantizeLevels(w float64, levels int) float64 {
+	if levels <= 0 {
+		return w
+	}
+	if w > c.WMax {
+		w = c.WMax
+	} else if w < -c.WMax {
+		w = -c.WMax
+	}
+	step := c.WMax / float64(levels)
+	return step * math.Round(w/step)
+}
+
+// IdentityMap returns the trivial row map [0, 1, ..., n-1].
+func IdentityMap(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}

@@ -1,0 +1,401 @@
+// Package ncs assembles the full neuromorphic computing system of the
+// paper: a positive/negative memristor crossbar pair, the digital input
+// drivers, the column-current ADCs, the weight/conductance codec and the
+// row-mapping indirection that AMP exploits. It provides the inference
+// and evaluation path shared by every training scheme.
+package ncs
+
+import (
+	"errors"
+	"fmt"
+
+	"vortex/internal/adc"
+	"vortex/internal/dataset"
+	"vortex/internal/device"
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+	"vortex/internal/xbar"
+)
+
+// Config describes an NCS instance.
+type Config struct {
+	Inputs     int     // logical input neurons (pixels)
+	Outputs    int     // output neurons (classes)
+	Redundancy int     // extra physical rows available to AMP
+	Vread      float64 // read voltage amplitude; default 1 V
+	ADCBits    int     // output ADC resolution; 0 = ideal sensing
+	ADCMax     float64 // output ADC full scale [A]; 0 = auto
+	WMax       float64 // weight full scale; default 1
+	WriteLvls  int     // programming-DAC levels per polarity; 0 = continuous
+
+	// Device and array parameters.
+	Model      device.SwitchModel
+	RWire      float64
+	Sigma      float64
+	SigmaCycle float64
+	DefectRate float64
+	Disturb    bool
+}
+
+// DefaultConfig returns the paper's evaluation setup for a given logical
+// size: 1 V digital inputs, 6-bit output ADCs, the default switch model
+// (Ron 10k / Roff 1M).
+func DefaultConfig(inputs, outputs int) Config {
+	return Config{
+		Inputs:  inputs,
+		Outputs: outputs,
+		Vread:   1.0,
+		ADCBits: 6,
+		Model:   device.DefaultSwitchModel(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Vread == 0 {
+		c.Vread = 1.0
+	}
+	if c.WMax == 0 {
+		c.WMax = 1.0
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Inputs <= 0 || c.Outputs <= 0 {
+		return errors.New("ncs: non-positive dimensions")
+	}
+	if c.Redundancy < 0 {
+		return errors.New("ncs: negative redundancy")
+	}
+	if c.Vread <= 0 {
+		return errors.New("ncs: non-positive read voltage")
+	}
+	if c.ADCBits < 0 {
+		return errors.New("ncs: negative ADC bits")
+	}
+	return c.Model.Validate()
+}
+
+// NCS is one fabricated system instance.
+type NCS struct {
+	cfg    Config
+	Pos    *xbar.Crossbar // positive weight array
+	Neg    *xbar.Crossbar // negative weight array
+	codec  Codec
+	chain  *adc.SenseChain
+	rowMap []int // logical row -> physical row
+
+	// cached effective read weights; invalidated by programming
+	weffPos, weffNeg *mat.Matrix
+}
+
+// New fabricates an NCS; the rng source drives fabrication variation for
+// both arrays.
+func New(cfg Config, src *rng.Source) (*NCS, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("ncs: nil rng source")
+	}
+	physRows := cfg.Inputs + cfg.Redundancy
+	xc := xbar.Config{
+		Rows:       physRows,
+		Cols:       cfg.Outputs,
+		Model:      cfg.Model,
+		RWire:      cfg.RWire,
+		Sigma:      cfg.Sigma,
+		SigmaCycle: cfg.SigmaCycle,
+		DefectRate: cfg.DefectRate,
+		Disturb:    cfg.Disturb,
+	}
+	pos, err := xbar.New(xc, src.Split())
+	if err != nil {
+		return nil, err
+	}
+	neg, err := xbar.New(xc, src.Split())
+	if err != nil {
+		return nil, err
+	}
+	codec, err := NewCodec(1/cfg.Model.Ron, 1/cfg.Model.Roff, cfg.WMax)
+	if err != nil {
+		return nil, err
+	}
+	var chain *adc.SenseChain
+	if cfg.ADCBits > 0 {
+		max := cfg.ADCMax
+		if max == 0 {
+			// The output is sensed differentially (I+ - I-), so the ADC
+			// range covers the differential span, not the single-array
+			// common mode. Auto full scale: +/- 8 weight-score units
+			// (score = Idiff * WMax / (Vread*(GOn-GOff))) — trained
+			// margins target +/-1, so this leaves generous headroom for
+			// variation-inflated scores while keeping the 6-bit LSB
+			// (0.25 score units) below the class-score gaps. That is what
+			// reproduces the paper's Fig. 8 saturation at 6 bits.
+			max = 8 * cfg.Vread * (codec.GOn - codec.GOff) / codec.WMax
+		}
+		conv, err := adc.NewConverter(cfg.ADCBits, -max, max)
+		if err != nil {
+			return nil, err
+		}
+		chain = adc.NewSenseChain(conv, 1, nil)
+	} else {
+		chain = adc.Ideal()
+	}
+	return &NCS{
+		cfg:    cfg,
+		Pos:    pos,
+		Neg:    neg,
+		codec:  codec,
+		chain:  chain,
+		rowMap: IdentityMap(cfg.Inputs),
+	}, nil
+}
+
+// Config returns the NCS configuration (with defaults resolved).
+func (n *NCS) Config() Config { return n.cfg }
+
+// Codec returns the weight/conductance codec.
+func (n *NCS) Codec() Codec { return n.codec }
+
+// PhysRows returns the number of physical crossbar rows.
+func (n *NCS) PhysRows() int { return n.cfg.Inputs + n.cfg.Redundancy }
+
+// RowMap returns a copy of the current logical-to-physical row map.
+func (n *NCS) RowMap() []int { return append([]int(nil), n.rowMap...) }
+
+// SetRowMap installs a logical-to-physical row assignment (from AMP).
+// Entries must be unique and within the physical row count.
+func (n *NCS) SetRowMap(m []int) error {
+	if len(m) != n.cfg.Inputs {
+		return errors.New("ncs: row map length mismatch")
+	}
+	seen := make([]bool, n.PhysRows())
+	for _, p := range m {
+		if p < 0 || p >= n.PhysRows() {
+			return fmt.Errorf("ncs: row map entry %d out of range", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("ncs: duplicate row map entry %d", p)
+		}
+		seen[p] = true
+	}
+	n.rowMap = append([]int(nil), m...)
+	n.Invalidate()
+	return nil
+}
+
+// Invalidate drops the cached effective read weights; call after any
+// direct programming of the arrays.
+func (n *NCS) Invalidate() {
+	n.weffPos, n.weffNeg = nil, nil
+}
+
+// ProgramWeights encodes and programs a logical weight matrix (Inputs x
+// Outputs) into both arrays through the current row map. Unmapped
+// (redundant) rows are driven to HRS.
+func (n *NCS) ProgramWeights(w *mat.Matrix, opts xbar.ProgramOptions) error {
+	if w.Rows != n.cfg.Inputs || w.Cols != n.cfg.Outputs {
+		return errors.New("ncs: weight matrix dimension mismatch")
+	}
+	if n.cfg.WriteLvls > 0 {
+		// Write-precision limit: snap every weight to the programming
+		// DAC's representable grid before encoding.
+		q := w.Clone()
+		for i := range q.Data {
+			q.Data[i] = n.codec.QuantizeLevels(q.Data[i], n.cfg.WriteLvls)
+		}
+		w = q
+	}
+	pos, neg, err := n.codec.TargetResistances(w, n.rowMap, n.PhysRows())
+	if err != nil {
+		return err
+	}
+	if err := n.Pos.ProgramTargets(pos, opts); err != nil {
+		return err
+	}
+	if err := n.Neg.ProgramTargets(neg, opts); err != nil {
+		return err
+	}
+	n.Invalidate()
+	return nil
+}
+
+// effective returns (computing if needed) the cached effective read
+// weight matrices of both arrays.
+func (n *NCS) effective() (pos, neg *mat.Matrix, err error) {
+	if n.weffPos == nil {
+		n.weffPos, err = n.Pos.EffectiveWeights()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if n.weffNeg == nil {
+		n.weffNeg, err = n.Neg.EffectiveWeights()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return n.weffPos, n.weffNeg, nil
+}
+
+// driveVector expands a logical input vector to physical row voltages
+// through the row map.
+func (n *NCS) driveVector(x []float64) []float64 {
+	v := make([]float64, n.PhysRows())
+	for i, p := range n.rowMap {
+		xi := x[i]
+		if xi < 0 {
+			xi = 0
+		} else if xi > 1 {
+			xi = 1
+		}
+		v[p] = xi * n.cfg.Vread
+	}
+	return v
+}
+
+// Scores returns the sensed, codec-scaled output scores for a logical
+// input vector in [0,1]^Inputs: score_j ~ sum_i x_i*w_ij under ideal
+// conditions. The positive and negative column currents are each sensed
+// through the output ADC before differencing, as in the hardware.
+func (n *NCS) Scores(x []float64) ([]float64, error) {
+	return n.ScoresThrough(x, n.chain)
+}
+
+// ScoresThrough computes scores sensed through a caller-provided chain
+// instead of the system's output ADC. Close-loop training uses it with a
+// higher-resolution converter — the costly sensing path the paper calls
+// out as CLD's hardware overhead (Sec. 1, Sec. 3.3). A nil chain means
+// ideal sensing.
+func (n *NCS) ScoresThrough(x []float64, chain *adc.SenseChain) ([]float64, error) {
+	if len(x) != n.cfg.Inputs {
+		return nil, errors.New("ncs: input length mismatch")
+	}
+	if chain == nil {
+		chain = adc.Ideal()
+	}
+	wp, wn, err := n.effective()
+	if err != nil {
+		return nil, err
+	}
+	v := n.driveVector(x)
+	ip := wp.MulVec(v)
+	in := wn.MulVec(v)
+	scale := n.codec.Scale(n.cfg.Vread)
+	out := make([]float64, n.cfg.Outputs)
+	for j := range out {
+		// Differential sensing: the column pair's current difference is
+		// formed in analog and quantized once.
+		out[j] = chain.Sense(ip[j]-in[j]) * scale
+	}
+	return out, nil
+}
+
+// OutputFullScale returns the output ADC's full-scale current (the auto-
+// ranged value when the configuration left it zero), or 0 for ideal
+// sensing.
+func (n *NCS) OutputFullScale() float64 {
+	if n.chain.ADC == nil {
+		return 0
+	}
+	_, max := n.chain.ADC.Range()
+	return max
+}
+
+// Classify returns the argmax class for an input.
+func (n *NCS) Classify(x []float64) (int, error) {
+	s, err := n.Scores(x)
+	if err != nil {
+		return 0, err
+	}
+	return mat.ArgMax(s), nil
+}
+
+// Evaluate returns the fraction of samples in the set classified
+// correctly (the paper's "test rate" when given test samples and
+// "training rate" when given the training samples).
+func (n *NCS) Evaluate(set *dataset.Set) (float64, error) {
+	if set.Len() == 0 {
+		return 0, errors.New("ncs: empty evaluation set")
+	}
+	correct := 0
+	for _, s := range set.Samples {
+		c, err := n.Classify(s.Pixels)
+		if err != nil {
+			return 0, err
+		}
+		if c == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(set.Len()), nil
+}
+
+// ProgramWeightsVerify programs a logical weight matrix with the
+// per-cell program-and-verify loop (xbar.ProgramVerify) instead of one
+// open-loop pass: each device's offset — parametric variation plus any
+// accumulated drift — is measured and canceled up to the verify
+// tolerance. This is the refresh primitive for aged systems.
+func (n *NCS) ProgramWeightsVerify(w *mat.Matrix, vopts xbar.VerifyOptions) error {
+	if w.Rows != n.cfg.Inputs || w.Cols != n.cfg.Outputs {
+		return errors.New("ncs: weight matrix dimension mismatch")
+	}
+	pos, neg, err := n.codec.TargetResistances(w, n.rowMap, n.PhysRows())
+	if err != nil {
+		return err
+	}
+	if _, err := n.Pos.ProgramVerify(pos, vopts); err != nil {
+		return err
+	}
+	if _, err := n.Neg.ProgramVerify(neg, vopts); err != nil {
+		return err
+	}
+	n.Invalidate()
+	return nil
+}
+
+// InitDrift initializes retention drift on both arrays (see
+// xbar.InitDrift). The two arrays draw independent drift populations.
+func (n *NCS) InitDrift(model device.DriftModel, src *rng.Source) error {
+	if src == nil {
+		return errors.New("ncs: nil rng source")
+	}
+	if err := n.Pos.InitDrift(model, src.Split()); err != nil {
+		return err
+	}
+	return n.Neg.InitDrift(model, src.Split())
+}
+
+// AgeTo advances both arrays to absolute time t and invalidates the
+// cached read map.
+func (n *NCS) AgeTo(t float64) error {
+	if err := n.Pos.AgeTo(t); err != nil {
+		return err
+	}
+	if err := n.Neg.AgeTo(t); err != nil {
+		return err
+	}
+	n.Invalidate()
+	return nil
+}
+
+// DecodedWeights reads back the logical weight matrix currently
+// represented by the arrays (through the row map), using the observable
+// conductances. This is a modeling convenience for analysis, not a
+// hardware observation.
+func (n *NCS) DecodedWeights() *mat.Matrix {
+	gp := n.Pos.Conductances()
+	gn := n.Neg.Conductances()
+	w := mat.NewMatrix(n.cfg.Inputs, n.cfg.Outputs)
+	for i, p := range n.rowMap {
+		for j := 0; j < n.cfg.Outputs; j++ {
+			w.Set(i, j, n.codec.Decode(gp.At(p, j), gn.At(p, j)))
+		}
+	}
+	return w
+}

@@ -1,0 +1,367 @@
+package ncs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vortex/internal/dataset"
+	"vortex/internal/device"
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+	"vortex/internal/xbar"
+)
+
+func TestCodecValidation(t *testing.T) {
+	if _, err := NewCodec(1e-4, 1e-6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCodec(1e-6, 1e-4, 1); err == nil {
+		t.Fatal("expected error for GOn <= GOff")
+	}
+	if _, err := NewCodec(1e-4, 0, 1); err == nil {
+		t.Fatal("expected error for zero GOff")
+	}
+	if _, err := NewCodec(1e-4, 1e-6, -1); err == nil {
+		t.Fatal("expected error for negative WMax")
+	}
+	c, err := NewCodec(1e-4, 1e-6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WMax != 1 {
+		t.Fatal("WMax should default to 1")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c, _ := NewCodec(1e-4, 1e-6, 1)
+	f := func(seed uint64) bool {
+		w := 2*rng.New(seed).Float64() - 1 // [-1, 1)
+		gp, gn := c.Encode(w)
+		back := c.Decode(gp, gn)
+		return math.Abs(back-w) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecClamps(t *testing.T) {
+	c, _ := NewCodec(1e-4, 1e-6, 1)
+	gp, gn := c.Encode(5)
+	if gp != c.GOn || gn != c.GOff {
+		t.Fatal("positive overflow should clamp to full scale")
+	}
+	gp, gn = c.Encode(-5)
+	if gp != c.GOff || gn != c.GOn {
+		t.Fatal("negative overflow should clamp to full scale")
+	}
+}
+
+func TestCodecEncodeOneSided(t *testing.T) {
+	c, _ := NewCodec(1e-4, 1e-6, 1)
+	gp, gn := c.Encode(0.5)
+	if gn != c.GOff {
+		t.Fatal("positive weight must leave negative array at GOff")
+	}
+	if gp <= c.GOff || gp >= c.GOn {
+		t.Fatalf("gp = %v out of range", gp)
+	}
+	gp, gn = c.Encode(0)
+	if gp != c.GOff || gn != c.GOff {
+		t.Fatal("zero weight must rest both arrays at GOff")
+	}
+}
+
+func TestTargetResistancesMapping(t *testing.T) {
+	c, _ := NewCodec(1e-4, 1e-6, 1)
+	w := mat.FromRows([][]float64{{0.5, -0.5}, {1, 0}})
+	pos, neg, err := c.TargetResistances(w, []int{2, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Logical row 0 lands on physical row 2.
+	gp, _ := c.Encode(0.5)
+	if math.Abs(pos.At(2, 0)-1/gp) > 1e-9 {
+		t.Fatal("mapped row not placed correctly")
+	}
+	// Physical row 1 is unmapped: off resistance on both arrays.
+	roff := 1 / c.GOff
+	if pos.At(1, 0) != roff || neg.At(1, 1) != roff {
+		t.Fatal("unmapped row should be at off resistance")
+	}
+	if _, _, err := c.TargetResistances(w, []int{0}, 3); err == nil {
+		t.Fatal("expected row map length error")
+	}
+	if _, _, err := c.TargetResistances(w, []int{0, 9}, 3); err == nil {
+		t.Fatal("expected row map range error")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(16, 4).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Inputs: 0, Outputs: 1, Model: device.DefaultSwitchModel()},
+		{Inputs: 1, Outputs: 0, Model: device.DefaultSwitchModel()},
+		{Inputs: 1, Outputs: 1, Redundancy: -1, Model: device.DefaultSwitchModel()},
+		{Inputs: 1, Outputs: 1, Vread: -1, Model: device.DefaultSwitchModel()},
+		{Inputs: 1, Outputs: 1, ADCBits: -1, Model: device.DefaultSwitchModel()},
+		{Inputs: 1, Outputs: 1}, // zero model
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func newIdeal(t *testing.T, inputs, outputs int) *NCS {
+	t.Helper()
+	cfg := DefaultConfig(inputs, outputs)
+	cfg.ADCBits = 0 // ideal sensing for exactness tests
+	n, err := New(cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestProgramAndScoreIdeal(t *testing.T) {
+	n := newIdeal(t, 8, 3)
+	src := rng.New(1)
+	w := mat.NewMatrix(8, 3)
+	for i := range w.Data {
+		w.Data[i] = 2*src.Float64() - 1
+	}
+	if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = src.Float64()
+	}
+	scores, err := n.Scores(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.T().VecMul(x)
+	for j := range scores {
+		if math.Abs(scores[j]-want[j]) > 1e-9 {
+			t.Fatalf("score %d = %v, want %v", j, scores[j], want[j])
+		}
+	}
+}
+
+func TestDecodedWeightsRoundTrip(t *testing.T) {
+	n := newIdeal(t, 5, 2)
+	w := mat.FromRows([][]float64{
+		{0.3, -0.7}, {0, 1}, {-1, 0.2}, {0.5, 0.5}, {-0.1, -0.9},
+	})
+	if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got := n.DecodedWeights()
+	for i := range w.Data {
+		if math.Abs(got.Data[i]-w.Data[i]) > 1e-6 {
+			t.Fatalf("decoded weight %d = %v, want %v", i, got.Data[i], w.Data[i])
+		}
+	}
+}
+
+func TestRowMapInvariance(t *testing.T) {
+	// Programming through any permutation row map must leave inference
+	// unchanged (the AMP correctness property, end to end).
+	cfg := DefaultConfig(6, 2)
+	cfg.ADCBits = 0
+	cfg.Redundancy = 2
+	src := rng.New(3)
+	w := mat.NewMatrix(6, 2)
+	for i := range w.Data {
+		w.Data[i] = 2*src.Float64() - 1
+	}
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = src.Float64()
+	}
+
+	base, err := New(cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s0, err := base.Scores(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	perm, err := New(cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := perm.SetRowMap([]int{7, 3, 0, 5, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := perm.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := perm.Scores(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range s0 {
+		if math.Abs(s0[j]-s1[j]) > 1e-9 {
+			t.Fatalf("remapped scores differ: %v vs %v", s0, s1)
+		}
+	}
+}
+
+func TestSetRowMapValidation(t *testing.T) {
+	n := newIdeal(t, 4, 2)
+	if err := n.SetRowMap([]int{0, 1, 2}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if err := n.SetRowMap([]int{0, 1, 2, 9}); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := n.SetRowMap([]int{0, 1, 2, 2}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+	if err := n.SetRowMap([]int{3, 2, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	// Hand-build a 2-input, 2-class problem the NCS can solve exactly:
+	// class 0 iff x0 > x1.
+	n := newIdeal(t, 2, 2)
+	w := mat.FromRows([][]float64{{1, -1}, {-1, 1}})
+	if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	set := &dataset.Set{Size: 1, Samples: []dataset.Sample{
+		{Pixels: []float64{0.9, 0.1}, Label: 0},
+		{Pixels: []float64{0.1, 0.9}, Label: 1},
+		{Pixels: []float64{0.8, 0.2}, Label: 0},
+		{Pixels: []float64{0.2, 0.8}, Label: 1},
+	}}
+	rate, err := n.Evaluate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 1 {
+		t.Fatalf("rate = %v, want 1", rate)
+	}
+	if _, err := n.Evaluate(&dataset.Set{}); err == nil {
+		t.Fatal("expected error for empty set")
+	}
+}
+
+func TestScoresInputValidation(t *testing.T) {
+	n := newIdeal(t, 3, 2)
+	if _, err := n.Scores([]float64{1}); err == nil {
+		t.Fatal("expected input length error")
+	}
+	if _, err := n.Classify([]float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("expected input length error")
+	}
+}
+
+func TestProgramWeightsValidation(t *testing.T) {
+	n := newIdeal(t, 3, 2)
+	if err := n.ProgramWeights(mat.NewMatrix(2, 2), xbar.ProgramOptions{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestADCQuantizationAffectsScores(t *testing.T) {
+	cfg := DefaultConfig(8, 2)
+	cfg.ADCBits = 3 // very coarse
+	coarse, err := New(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.ADCBits = 0
+	ideal, err := New(cfg2, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(6)
+	w := mat.NewMatrix(8, 2)
+	for i := range w.Data {
+		w.Data[i] = 2*src.Float64() - 1
+	}
+	if err := coarse.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ideal.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, 8)
+		for i := range x {
+			x[i] = src.Float64()
+		}
+		sc, err := coarse.Scores(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		si, err := ideal.Scores(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range sc {
+			diff += math.Abs(sc[j] - si[j])
+		}
+	}
+	if diff == 0 {
+		t.Fatal("3-bit ADC produced identical scores to ideal sensing")
+	}
+}
+
+func TestVariationCorruptsScores(t *testing.T) {
+	cfg := DefaultConfig(16, 2)
+	cfg.ADCBits = 0
+	cfg.Sigma = 0.6
+	n, err := New(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(8)
+	w := mat.NewMatrix(16, 2)
+	for i := range w.Data {
+		w.Data[i] = 2*src.Float64() - 1
+	}
+	if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 16)
+	for i := range x {
+		x[i] = src.Float64()
+	}
+	scores, err := n.Scores(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.T().VecMul(x)
+	var dev float64
+	for j := range scores {
+		dev += math.Abs(scores[j] - want[j])
+	}
+	if dev < 1e-3 {
+		t.Fatalf("sigma=0.6 variation barely moved the scores (dev %v)", dev)
+	}
+}
+
+func TestNilSourceRejected(t *testing.T) {
+	if _, err := New(DefaultConfig(4, 2), nil); err == nil {
+		t.Fatal("expected error for nil source")
+	}
+}

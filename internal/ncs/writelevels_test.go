@@ -1,0 +1,146 @@
+package ncs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+	"vortex/internal/xbar"
+)
+
+func TestQuantizeLevelsGrid(t *testing.T) {
+	c, _ := NewCodec(1e-4, 1e-6, 1)
+	// 4 levels per polarity: grid step 0.25.
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {0.1, 0}, {0.13, 0.25}, {0.25, 0.25}, {0.37, 0.25},
+		{0.38, 0.5}, {1, 1}, {-0.6, -0.5}, {-0.9, -1}, {2, 1}, {-2, -1},
+	}
+	for _, tc := range cases {
+		if got := c.QuantizeLevels(tc.in, 4); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("QuantizeLevels(%v, 4) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Continuous mode is the identity.
+	if c.QuantizeLevels(0.123, 0) != 0.123 {
+		t.Fatal("levels=0 should be identity")
+	}
+}
+
+func TestQuantizeLevelsProperties(t *testing.T) {
+	c, _ := NewCodec(1e-4, 1e-6, 1)
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		w := 2*src.Float64() - 1
+		levels := 1 + src.Intn(16)
+		q := c.QuantizeLevels(w, levels)
+		// Idempotent, bounded, within half a step of the input.
+		step := c.WMax / float64(levels)
+		return c.QuantizeLevels(q, levels) == q &&
+			math.Abs(q) <= c.WMax+1e-12 &&
+			math.Abs(q-w) <= step/2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteLevelsAffectProgramming(t *testing.T) {
+	cfg := DefaultConfig(4, 2)
+	cfg.ADCBits = 0
+	cfg.WriteLvls = 2 // very coarse: representable weights 0, +/-0.5, +/-1
+	n, err := New(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mat.FromRows([][]float64{
+		{0.2, -0.2}, {0.6, -0.6}, {0.9, 0.1}, {-0.4, 0.45},
+	})
+	if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got := n.DecodedWeights()
+	want := [][]float64{{0, 0}, {0.5, -0.5}, {1, 0}, {-0.5, 0.5}}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(got.At(i, j)-want[i][j]) > 1e-6 {
+				t.Fatalf("decoded[%d][%d] = %v, want %v", i, j, got.At(i, j), want[i][j])
+			}
+		}
+	}
+	// The caller's matrix must not be modified by the quantization.
+	if w.At(0, 0) != 0.2 {
+		t.Fatal("ProgramWeights mutated the input weights")
+	}
+}
+
+func TestWriteLevelsAccuracyOrdering(t *testing.T) {
+	// More write levels must never classify worse on average; coarse
+	// 1-level (ternary) programming should visibly hurt.
+	src := rng.New(9)
+	const inputs, outputs = 24, 4
+	w := mat.NewMatrix(inputs, outputs)
+	for i := range w.Data {
+		w.Data[i] = 2*src.Float64() - 1
+	}
+	// Build samples the continuous network classifies confidently.
+	type sample struct {
+		x     []float64
+		label int
+	}
+	var samples []sample
+	for len(samples) < 120 {
+		x := make([]float64, inputs)
+		for i := range x {
+			x[i] = src.Float64()
+		}
+		scores := w.T().VecMul(x)
+		best := mat.ArgMax(scores)
+		// Require a margin so quantization is the only failure source.
+		second := math.Inf(-1)
+		for j, s := range scores {
+			if j != best && s > second {
+				second = s
+			}
+		}
+		if scores[best]-second > 0.3 {
+			samples = append(samples, sample{x, best})
+		}
+	}
+	accuracy := func(levels int) float64 {
+		cfg := DefaultConfig(inputs, outputs)
+		cfg.ADCBits = 0
+		cfg.WriteLvls = levels
+		n, err := New(cfg, rng.New(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for _, s := range samples {
+			c, err := n.Classify(s.x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c == s.label {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(samples))
+	}
+	coarse := accuracy(1)
+	fine := accuracy(32)
+	cont := accuracy(0)
+	if cont != 1 {
+		t.Fatalf("continuous accuracy %.3f, want 1 on margin-filtered samples", cont)
+	}
+	if fine < cont-0.05 {
+		t.Fatalf("32-level accuracy %.3f too far below continuous", fine)
+	}
+	if coarse >= fine {
+		t.Fatalf("ternary (%.3f) not worse than 32-level (%.3f)", coarse, fine)
+	}
+}

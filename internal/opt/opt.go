@@ -1,0 +1,236 @@
+// Package opt solves the training optimizations of the paper in software:
+// the conventional hinge-loss program of Eq. (3) (used by GDT/OLD) and the
+// variation-aware program of Eq. (8)-(10) (used by VAT), via projected
+// stochastic sub-gradient descent.
+//
+// Per output column r the VAT program is
+//
+//	min sum_i eps_i
+//	s.t. yhat_i * (x_i . w) >= 1 - eps_i + gamma*rho*||x_i o w||_2
+//
+// where "o" is the element-wise product, rho bounds ||theta||_2 at the
+// configured confidence (stats.ThetaNormBound, Eq. 7), and gamma in [0,1]
+// scales the penalty of variations (Eq. 10). gamma == 0 recovers the
+// conventional program. The per-sample hinge loss is
+//
+//	L_i(w) = max(0, 1 + gamma*rho*||x_i o w||_2 - yhat_i*(x_i . w))
+//
+// whose sub-gradient drives the SGD update. Weights are projected onto
+// the box [-WMax, WMax] after every step: the crossbar can only realize a
+// bounded conductance range, so the software training must respect the
+// same dynamic range it will be mapped onto.
+package opt
+
+import (
+	"errors"
+	"math"
+
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+)
+
+// Problem is one column's training program.
+type Problem struct {
+	X     *mat.Matrix // s x n input samples (rows are samples)
+	Y     []float64   // s targets in {-1, +1}
+	Gamma float64     // penalty-of-variations scale, [0, 1]
+	Rho   float64     // ||theta||_2 bound from the variation model
+}
+
+// Validate checks the problem for consistency.
+func (p Problem) Validate() error {
+	if p.X == nil || p.X.Rows == 0 || p.X.Cols == 0 {
+		return errors.New("opt: empty problem")
+	}
+	if len(p.Y) != p.X.Rows {
+		return errors.New("opt: target length mismatch")
+	}
+	for _, y := range p.Y {
+		if y != 1 && y != -1 {
+			return errors.New("opt: targets must be +/-1")
+		}
+	}
+	if p.Gamma < 0 || p.Gamma > 1 {
+		return errors.New("opt: gamma out of [0,1]")
+	}
+	if p.Rho < 0 {
+		return errors.New("opt: negative rho")
+	}
+	return nil
+}
+
+// SGDConfig tunes the solver. Zero values select the defaults noted on
+// each field.
+type SGDConfig struct {
+	Epochs    int     // sweeps over the data; default 60
+	Rate      float64 // initial learning rate; default 0.05
+	RateDecay float64 // per-epoch multiplicative decay; default 0.97
+	WMax      float64 // weight box bound; default 1
+	Tol       float64 // early stop when mean loss change < Tol; default 1e-6
+}
+
+func (c SGDConfig) withDefaults() SGDConfig {
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.Rate <= 0 {
+		c.Rate = 0.05
+	}
+	if c.RateDecay <= 0 || c.RateDecay > 1 {
+		c.RateDecay = 0.97
+	}
+	if c.WMax <= 0 {
+		c.WMax = 1
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	return c
+}
+
+// SampleLoss returns the VAT hinge loss of one sample.
+func SampleLoss(w, x []float64, y, gamma, rho float64) float64 {
+	margin := y * mat.Dot(x, w)
+	pen := 0.0
+	if gamma > 0 && rho > 0 {
+		pen = gamma * rho * mat.Norm2(mat.HadamardVec(x, w))
+	}
+	l := 1 + pen - margin
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// MeanLoss returns the average VAT hinge loss of w on the problem.
+func MeanLoss(p Problem, w []float64) float64 {
+	s := 0.0
+	for i := 0; i < p.X.Rows; i++ {
+		s += SampleLoss(w, p.X.Row(i), p.Y[i], p.Gamma, p.Rho)
+	}
+	return s / float64(p.X.Rows)
+}
+
+// TrainColumn solves the program with projected SGD and returns the
+// weight vector. The sample order is shuffled per epoch using src, so
+// training is deterministic in the seed.
+func TrainColumn(p Problem, cfg SGDConfig, src *rng.Source) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, errors.New("opt: nil rng source")
+	}
+	cfg = cfg.withDefaults()
+	n := p.X.Cols
+	s := p.X.Rows
+	w := make([]float64, n)
+	order := make([]int, s)
+	for i := range order {
+		order[i] = i
+	}
+	rate := cfg.Rate
+	prevLoss := math.Inf(1)
+	v := make([]float64, n) // scratch for x o w
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		src.Shuffle(s, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			x := p.X.Row(idx)
+			y := p.Y[idx]
+			// Evaluate the active constraint.
+			margin := y * mat.Dot(x, w)
+			pen := 0.0
+			var vnorm float64
+			if p.Gamma > 0 && p.Rho > 0 {
+				for q := range v {
+					v[q] = x[q] * w[q]
+				}
+				vnorm = mat.Norm2(v)
+				pen = p.Gamma * p.Rho * vnorm
+			}
+			if 1+pen-margin <= 0 {
+				continue // satisfied with slack zero: no sub-gradient
+			}
+			// Sub-gradient step: dL/dw_q = -y*x_q + gamma*rho*x_q^2*w_q/||v||.
+			coef := 0.0
+			if vnorm > 1e-30 {
+				coef = p.Gamma * p.Rho / vnorm
+			}
+			for q := 0; q < n; q++ {
+				g := -y*x[q] + coef*x[q]*x[q]*w[q]
+				wq := w[q] - rate*g
+				if wq > cfg.WMax {
+					wq = cfg.WMax
+				} else if wq < -cfg.WMax {
+					wq = -cfg.WMax
+				}
+				w[q] = wq
+			}
+		}
+		rate *= cfg.RateDecay
+		loss := MeanLoss(p, w)
+		if math.Abs(prevLoss-loss) < cfg.Tol {
+			break
+		}
+		prevLoss = loss
+	}
+	return w, nil
+}
+
+// TrainAll trains one column per class with 1-vs-all targets and returns
+// the n x classes weight matrix. labels[i] in [0, classes).
+func TrainAll(x *mat.Matrix, labels []int, classes int, gamma, rho float64, cfg SGDConfig, src *rng.Source) (*mat.Matrix, error) {
+	if len(labels) != x.Rows {
+		return nil, errors.New("opt: label count mismatch")
+	}
+	w := mat.NewMatrix(x.Cols, classes)
+	y := make([]float64, x.Rows)
+	for class := 0; class < classes; class++ {
+		for i, l := range labels {
+			if l < 0 || l >= classes {
+				return nil, errors.New("opt: label out of range")
+			}
+			if l == class {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		col, err := TrainColumn(Problem{X: x, Y: y, Gamma: gamma, Rho: rho}, cfg, src)
+		if err != nil {
+			return nil, err
+		}
+		w.SetCol(class, col)
+	}
+	return w, nil
+}
+
+// Accuracy returns the fraction of samples whose argmax output under
+// y = x*W matches the label.
+func Accuracy(x *mat.Matrix, labels []int, w *mat.Matrix) float64 {
+	if x.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < x.Rows; i++ {
+		scores := scoreRow(x.Row(i), w)
+		if mat.ArgMax(scores) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(x.Rows)
+}
+
+func scoreRow(x []float64, w *mat.Matrix) []float64 {
+	scores := make([]float64, w.Cols)
+	for q, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := w.Row(q)
+		for c, wv := range row {
+			scores[c] += xv * wv
+		}
+	}
+	return scores
+}

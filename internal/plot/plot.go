@@ -1,0 +1,145 @@
+// Package plot renders quick ASCII line charts of experiment series, so
+// sweeps can be eyeballed straight from the terminal without leaving the
+// toolchain (pipe vortexsim -csv into vortexplot).
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Options control chart geometry.
+type Options struct {
+	Width  int  // plot area columns; default 60
+	Height int  // plot area rows; default 18
+	LogX   bool // logarithmic x axis (requires positive x values)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 60
+	}
+	if o.Height <= 0 {
+		o.Height = 18
+	}
+	return o
+}
+
+// Render draws the series into a text chart with y axis labels on the
+// left, an x axis range line at the bottom, and a marker legend.
+func Render(series []Series, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	if len(series) == 0 {
+		return "", errors.New("plot: no series")
+	}
+	if len(series) > len(markers) {
+		return "", fmt.Errorf("plot: at most %d series supported", len(markers))
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("plot: series %q has mismatched lengths", s.Name)
+		}
+		for i := range s.X {
+			x := s.X[i]
+			if opts.LogX {
+				if x <= 0 {
+					return "", fmt.Errorf("plot: series %q has non-positive x on a log axis", s.Name)
+				}
+				x = math.Log10(x)
+			}
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if s.Y[i] < ymin {
+				ymin = s.Y[i]
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+			points++
+		}
+	}
+	if points == 0 {
+		return "", errors.New("plot: series are empty")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	w, h := opts.Width, opts.Height
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := markers[si]
+		for i := range s.X {
+			x := s.X[i]
+			if opts.LogX {
+				x = math.Log10(x)
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+			row := int(math.Round((ymax - s.Y[i]) / (ymax - ymin) * float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = mark
+			}
+		}
+	}
+
+	var b strings.Builder
+	yLabel := func(v float64) string { return fmt.Sprintf("%8.3g", v) }
+	for r := 0; r < h; r++ {
+		switch r {
+		case 0:
+			b.WriteString(yLabel(ymax))
+		case h - 1:
+			b.WriteString(yLabel(ymin))
+		default:
+			b.WriteString(strings.Repeat(" ", 8))
+		}
+		b.WriteString(" |")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", w))
+	b.WriteByte('\n')
+	axis := "x"
+	if opts.LogX {
+		axis = "log10(x)"
+	}
+	fmt.Fprintf(&b, "%9s %-.4g%s%.4g   (%s)\n", "",
+		xmin, strings.Repeat(" ", max(1, w-18)), xmax, axis)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%9s %c %s\n", "", markers[si], s.Name)
+	}
+	return b.String(), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

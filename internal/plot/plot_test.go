@@ -1,0 +1,105 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	s := []Series{
+		{Name: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{1, 1, 1, 1}},
+	}
+	out, err := Render(s, Options{Width: 40, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "linear") || !strings.Contains(out, "flat") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+	lines := strings.Split(out, "\n")
+	// Height rows + axis + range + 2 legend rows (+ trailing empty).
+	if len(lines) < 14 {
+		t.Fatalf("unexpectedly short output (%d lines)", len(lines))
+	}
+	// Top-left label is the max, bottom the min.
+	if !strings.Contains(lines[0], "3") {
+		t.Fatalf("max label missing in %q", lines[0])
+	}
+	if !strings.Contains(lines[9], "0") {
+		t.Fatalf("min label missing in %q", lines[9])
+	}
+}
+
+func TestRenderCornerPlacement(t *testing.T) {
+	s := []Series{{Name: "d", X: []float64{0, 1}, Y: []float64{0, 1}}}
+	out, err := Render(s, Options{Width: 10, Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// Max y at max x: top row, right edge of the plot area.
+	if lines[0][len(lines[0])-1] != '*' {
+		t.Fatalf("top-right corner not marked: %q", lines[0])
+	}
+	// Min y at min x: bottom plot row, left edge after the "| ".
+	bottom := lines[4]
+	if bottom[strings.Index(bottom, "|")+1] != '*' {
+		t.Fatalf("bottom-left corner not marked: %q", bottom)
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	s := []Series{{Name: "decay", X: []float64{1, 10, 100, 1000}, Y: []float64{4, 3, 2, 1}}}
+	out, err := Render(s, Options{LogX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log10(x)") {
+		t.Fatal("log axis annotation missing")
+	}
+	// Log spacing makes the marker columns equidistant; confirm all four
+	// markers landed in the plot area (the legend repeats the glyph).
+	area := out[:strings.Index(out, "+--")]
+	if strings.Count(area, "*") != 4 {
+		t.Fatalf("expected 4 markers in plot area, got %d", strings.Count(area, "*"))
+	}
+	if _, err := Render([]Series{{Name: "bad", X: []float64{0}, Y: []float64{1}}},
+		Options{LogX: true}); err == nil {
+		t.Fatal("expected error for non-positive x on log axis")
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	if _, err := Render(nil, Options{}); err == nil {
+		t.Fatal("expected error for no series")
+	}
+	if _, err := Render([]Series{{Name: "m", X: []float64{1}, Y: []float64{}}}, Options{}); err == nil {
+		t.Fatal("expected error for mismatched lengths")
+	}
+	if _, err := Render([]Series{{Name: "e"}}, Options{}); err == nil {
+		t.Fatal("expected error for empty series")
+	}
+	many := make([]Series, 9)
+	for i := range many {
+		many[i] = Series{Name: "s", X: []float64{0}, Y: []float64{0}}
+	}
+	if _, err := Render(many, Options{}); err == nil {
+		t.Fatal("expected error for too many series")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Constant x and y must not divide by zero.
+	s := []Series{{Name: "dot", X: []float64{5, 5}, Y: []float64{2, 2}}}
+	out, err := Render(s, Options{Width: 10, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("marker missing for degenerate series")
+	}
+}

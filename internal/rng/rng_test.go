@@ -1,0 +1,218 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child and parent must not produce the same stream.
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			t.Fatalf("parent and child emitted identical value at step %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	counts := make([]int, 7)
+	const n = 70000
+	for i := 0; i < n; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/7) > 0.01 {
+			t.Fatalf("bucket %d has frequency %v, want ~%v", i, frac, 1.0/7)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(6)
+	const n = 400000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestLogNormalMoments(t *testing.T) {
+	// For X ~ LogNormal(0, sigma^2): E[X] = exp(sigma^2/2).
+	s := New(8)
+	sigma := 0.5
+	const n = 400000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.LogNormal(0, sigma)
+	}
+	mean := sum / n
+	want := math.Exp(sigma * sigma / 2)
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Fatalf("lognormal mean = %v, want ~%v", mean, want)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64) bool {
+		n := 1 + int(seed%57)
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := New(11)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", frac)
+	}
+}
+
+func TestNormVec(t *testing.T) {
+	s := New(12)
+	v := s.NormVec(nil, 1000, 2.0)
+	if len(v) != 1000 {
+		t.Fatalf("len = %d", len(v))
+	}
+	var sumsq float64
+	for _, x := range v {
+		sumsq += x * x
+	}
+	sd := math.Sqrt(sumsq / 1000)
+	if math.Abs(sd-2.0) > 0.2 {
+		t.Fatalf("stddev = %v, want ~2", sd)
+	}
+	// Reuse path.
+	w := make([]float64, 10)
+	got := s.NormVec(w, 10, 1.0)
+	if &got[0] != &w[0] {
+		t.Fatal("NormVec did not reuse provided buffer")
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Norm()
+	}
+}

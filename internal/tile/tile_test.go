@@ -1,0 +1,167 @@
+package tile
+
+import (
+	"math"
+	"testing"
+
+	"vortex/internal/dataset"
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+	"vortex/internal/xbar"
+)
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		n, max int
+		want   []span
+	}{
+		{10, 0, []span{{0, 10}}},
+		{10, 10, []span{{0, 10}}},
+		{10, 4, []span{{0, 4}, {4, 8}, {8, 10}}},
+		{9, 3, []span{{0, 3}, {3, 6}, {6, 9}}},
+		{1, 5, []span{{0, 1}}},
+	}
+	for _, c := range cases {
+		got := split(c.n, c.max)
+		if len(got) != len(c.want) {
+			t.Fatalf("split(%d,%d) = %v", c.n, c.max, got)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("split(%d,%d) = %v, want %v", c.n, c.max, got, c.want)
+			}
+		}
+	}
+}
+
+func TestTiledMatchesMonolithicIdeal(t *testing.T) {
+	// With ideal devices and sensing, a tiled array must compute exactly
+	// the same scores as the untiled logical product.
+	const inputs, outputs = 20, 6
+	src := rng.New(1)
+	w := mat.NewMatrix(inputs, outputs)
+	for i := range w.Data {
+		w.Data[i] = 2*src.Float64() - 1
+	}
+	cfg := Config{MaxRows: 7, MaxCols: 4, ADCBits: -1}
+	a, err := New(inputs, outputs, cfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := a.Tiles(); r != 3 || c != 2 {
+		t.Fatalf("tile grid %dx%d, want 3x2", r, c)
+	}
+	if err := a.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, inputs)
+	for i := range x {
+		x[i] = src.Float64()
+	}
+	got, err := a.Scores(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.T().VecMul(x)
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-9 {
+			t.Fatalf("score %d = %v, want %v", j, got[j], want[j])
+		}
+	}
+}
+
+func TestTilingReducesIRDrop(t *testing.T) {
+	// The architectural claim: with wire resistance and *uncompensated*
+	// programming, shorter tiles land closer to their targets. Compare
+	// the decoded-weight error of a monolithic array against a tiled one.
+	const inputs, outputs = 128, 4
+	src := rng.New(3)
+	w := mat.NewMatrix(inputs, outputs)
+	for i := range w.Data {
+		w.Data[i] = 2*src.Float64() - 1
+	}
+	errOf := func(maxRows int) float64 {
+		cfg := Config{MaxRows: maxRows, RWire: 2.5, ADCBits: -1}
+		a, err := New(inputs, outputs, cfg, rng.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		// Probe with unit inputs: the ideal answer is the column sums.
+		x := mat.Constant(inputs, 1.0)
+		got, err := a.Scores(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := w.T().VecMul(x)
+		var e float64
+		for j := range want {
+			e += math.Abs(got[j] - want[j])
+		}
+		return e
+	}
+	mono := errOf(0)
+	tiled := errOf(32)
+	t.Logf("uncompensated programming error: monolithic %.3f vs 32-row tiles %.3f", mono, tiled)
+	if tiled >= mono {
+		t.Fatalf("tiling did not reduce the IR-drop error: %v vs %v", tiled, mono)
+	}
+}
+
+func TestSenseChannels(t *testing.T) {
+	a, err := New(100, 10, Config{MaxRows: 25, MaxCols: 5, ADCBits: -1}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 tile rows x (5+5) columns = 40 channels.
+	if got := a.SenseChannels(); got != 40 {
+		t.Fatalf("SenseChannels = %d, want 40", got)
+	}
+	mono, err := New(100, 10, Config{ADCBits: -1}, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mono.SenseChannels(); got != 10 {
+		t.Fatalf("monolithic SenseChannels = %d, want 10", got)
+	}
+}
+
+func TestEvaluateAndValidation(t *testing.T) {
+	if _, err := New(0, 5, Config{}, rng.New(1)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := New(5, 5, Config{}, nil); err == nil {
+		t.Fatal("expected nil-source error")
+	}
+	a, err := New(4, 2, Config{ADCBits: -1}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ProgramWeights(mat.NewMatrix(3, 2), xbar.ProgramOptions{}); err == nil {
+		t.Fatal("expected weight dimension error")
+	}
+	if _, err := a.Scores([]float64{1}); err == nil {
+		t.Fatal("expected input length error")
+	}
+	if _, err := a.Evaluate(&dataset.Set{}); err == nil {
+		t.Fatal("expected empty-set error")
+	}
+	// A tiny classification task end to end.
+	w := mat.FromRows([][]float64{{1, -1}, {1, -1}, {-1, 1}, {-1, 1}})
+	if err := a.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	set := &dataset.Set{Size: 2, Samples: []dataset.Sample{
+		{Pixels: []float64{1, 1, 0, 0}, Label: 0},
+		{Pixels: []float64{0, 0, 1, 1}, Label: 1},
+	}}
+	rate, err := a.Evaluate(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 1 {
+		t.Fatalf("rate = %v, want 1", rate)
+	}
+}

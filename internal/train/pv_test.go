@@ -1,0 +1,46 @@
+package train
+
+import (
+	"testing"
+
+	"vortex/internal/opt"
+	"vortex/internal/rng"
+)
+
+func TestPVToleratesVariation(t *testing.T) {
+	// PV must land close to the clean-hardware rate even at high sigma,
+	// and clearly beat OLD there.
+	trainSet, testSet := smallDigits(t, 15, 10, 60, 61)
+	sigma := 0.8
+
+	nOLD := newNCS(t, trainSet.Features(), sigma, 0, 62)
+	if _, err := OLD(nOLD, trainSet, OLDConfig{SGD: opt.SGDConfig{Epochs: 30}}, rng.New(63)); err != nil {
+		t.Fatal(err)
+	}
+	oldRate, err := nOLD.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nPV := newNCS(t, trainSet.Features(), sigma, 0, 62)
+	res, err := PV(nPV, trainSet, PVConfig{SGD: opt.SGDConfig{Epochs: 30}}, rng.New(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pvRate, err := nPV.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sigma=%.1f: OLD %.3f, PV %.3f (train %.3f)", sigma, oldRate, pvRate, res.TrainRate)
+	if pvRate <= oldRate {
+		t.Fatalf("PV (%.3f) did not beat OLD (%.3f) under variation", pvRate, oldRate)
+	}
+}
+
+func TestPVValidation(t *testing.T) {
+	trainSet, _ := smallDigits(t, 2, 1, 64, 65)
+	n := newNCS(t, trainSet.Features(), 0, 0, 66)
+	if _, err := PV(n, trainSet, PVConfig{SGD: opt.SGDConfig{Epochs: 1}}, nil); err == nil {
+		t.Fatal("expected nil-source error")
+	}
+}

@@ -1,0 +1,101 @@
+// Package train implements the hardware training schemes the paper
+// compares:
+//
+//   - Software GDT / VAT: the off-device optimizations (conventional
+//     Eq. 3 and variation-aware Eq. 8-10) producing a logical weight
+//     matrix.
+//   - OLD ("open-loop off-device", paper [10]): software training, then a
+//     single pre-calculated programming pass. Cheap periphery, but device
+//     variations corrupt the landed weights.
+//   - CLD ("close-loop on-device", paper [9]): iterative on-device
+//     gradient descent — sense the outputs through the ADC, compute the
+//     GDT update, program incremental pulses. Tolerates variation through
+//     feedback, but inherits the IR-drop (beta/D) and sensing-resolution
+//     limits of Sec. 3.
+//   - Self-tuning (Fig. 5): the validation-driven gamma scan that picks
+//     the variation penalty maximizing the validated test rate.
+package train
+
+import (
+	"errors"
+
+	"vortex/internal/dataset"
+	"vortex/internal/mat"
+	"vortex/internal/ncs"
+	"vortex/internal/opt"
+	"vortex/internal/rng"
+	"vortex/internal/stats"
+	"vortex/internal/xbar"
+)
+
+// Result reports a completed hardware training run.
+type Result struct {
+	Weights   *mat.Matrix // the logical weights the scheme arrived at
+	TrainRate float64     // fraction of training samples the NCS classifies correctly
+	Epochs    int         // epochs actually used (CLD) or 0 for one-shot schemes
+	Gamma     float64     // penalty scale used (VAT/Vortex paths)
+}
+
+// SoftwareGDT trains the conventional program (Eq. 3) in software and
+// returns the weight matrix.
+func SoftwareGDT(set *dataset.Set, classes int, cfg opt.SGDConfig, src *rng.Source) (*mat.Matrix, error) {
+	x, labels := set.ToMatrix()
+	return opt.TrainAll(x, labels, classes, 0, 0, cfg, src)
+}
+
+// SoftwareVAT trains the variation-aware program (Eq. 10) in software.
+// sigma is the lognormal variation the training should tolerate;
+// confidence sets the chi-square bound of Eq. 7.
+func SoftwareVAT(set *dataset.Set, classes int, gamma, sigma, confidence float64, cfg opt.SGDConfig, src *rng.Source) (*mat.Matrix, error) {
+	if gamma < 0 || gamma > 1 {
+		return nil, errors.New("train: gamma out of [0,1]")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return nil, errors.New("train: confidence out of (0,1)")
+	}
+	x, labels := set.ToMatrix()
+	rho := stats.ThetaNormBound(sigma, x.Cols, confidence)
+	return opt.TrainAll(x, labels, classes, gamma, rho, cfg, src)
+}
+
+// OLDConfig controls open-loop off-device training.
+type OLDConfig struct {
+	SGD          opt.SGDConfig
+	CompensateIR bool // apply the pre-calculation IR compensation of paper [10]
+}
+
+// OLD performs open-loop off-device training on the NCS: software GDT,
+// one open-loop programming pass, then a training-rate measurement on the
+// programmed hardware.
+func OLD(n *ncs.NCS, set *dataset.Set, cfg OLDConfig, src *rng.Source) (*Result, error) {
+	w, err := SoftwareGDT(set, n.Config().Outputs, cfg.SGD, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.ProgramWeights(w, xbar.ProgramOptions{CompensateIR: cfg.CompensateIR}); err != nil {
+		return nil, err
+	}
+	tr, err := n.Evaluate(set)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Weights: w, TrainRate: tr}, nil
+}
+
+// VATProgram trains VAT weights in software at a fixed gamma, programs
+// them open loop (with IR compensation, as Vortex does) and measures the
+// training rate.
+func VATProgram(n *ncs.NCS, set *dataset.Set, gamma, sigma, confidence float64, cfg opt.SGDConfig, src *rng.Source) (*Result, error) {
+	w, err := SoftwareVAT(set, n.Config().Outputs, gamma, sigma, confidence, cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.ProgramWeights(w, xbar.ProgramOptions{CompensateIR: true}); err != nil {
+		return nil, err
+	}
+	tr, err := n.Evaluate(set)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Weights: w, TrainRate: tr, Gamma: gamma}, nil
+}

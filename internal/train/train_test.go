@@ -1,0 +1,391 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"vortex/internal/dataset"
+	"vortex/internal/ncs"
+	"vortex/internal/opt"
+	"vortex/internal/rng"
+)
+
+// smallDigits generates a reduced-resolution digit problem that trains in
+// milliseconds: 14x14 images, a handful per class.
+func smallDigits(t *testing.T, perClassTrain, perClassTest int, seedA, seedB uint64) (trainSet, testSet *dataset.Set) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	tr, err := dataset.GenerateBalanced(cfg, perClassTrain, rng.New(seedA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err := dataset.GenerateBalanced(cfg, perClassTest, rng.New(seedB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err = dataset.Undersample(tr, 2, dataset.Decimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te, err = dataset.Undersample(te, 2, dataset.Decimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, te
+}
+
+func newNCS(t *testing.T, inputs int, sigma, rwire float64, seed uint64) *ncs.NCS {
+	t.Helper()
+	cfg := ncs.DefaultConfig(inputs, dataset.NumClasses)
+	cfg.Sigma = sigma
+	cfg.RWire = rwire
+	n, err := ncs.New(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestSoftwareGDTLearns(t *testing.T) {
+	trainSet, testSet := smallDigits(t, 30, 15, 1, 2)
+	w, err := SoftwareGDT(trainSet, dataset.NumClasses, opt.SGDConfig{Epochs: 30}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, l := testSet.ToMatrix()
+	if acc := opt.Accuracy(x, l, w); acc < 0.6 {
+		t.Fatalf("software GDT test accuracy %.3f too low", acc)
+	}
+}
+
+func TestSoftwareVATValidation(t *testing.T) {
+	trainSet, _ := smallDigits(t, 5, 2, 4, 5)
+	if _, err := SoftwareVAT(trainSet, 10, 1.5, 0.5, 0.9, opt.SGDConfig{Epochs: 2}, rng.New(1)); err == nil {
+		t.Fatal("expected gamma range error")
+	}
+	if _, err := SoftwareVAT(trainSet, 10, 0.2, 0.5, 1.5, opt.SGDConfig{Epochs: 2}, rng.New(1)); err == nil {
+		t.Fatal("expected confidence range error")
+	}
+	if _, err := SoftwareVAT(trainSet, 10, 0.2, 0.5, 0.9, opt.SGDConfig{Epochs: 2}, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOLDOnIdealHardwareMatchesSoftware(t *testing.T) {
+	// With no variation, no wire resistance and ideal sensing the
+	// programmed NCS must reproduce the software accuracy.
+	trainSet, testSet := smallDigits(t, 20, 10, 6, 7)
+	cfg := ncs.DefaultConfig(trainSet.Features(), dataset.NumClasses)
+	cfg.ADCBits = 0
+	n, err := ncs.New(cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OLD(n, trainSet, OLDConfig{SGD: opt.SGDConfig{Epochs: 30}}, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, l := trainSet.ToMatrix()
+	softTrain := opt.Accuracy(x, l, res.Weights)
+	if math.Abs(res.TrainRate-softTrain) > 0.02 {
+		t.Fatalf("ideal hardware train rate %.3f deviates from software %.3f",
+			res.TrainRate, softTrain)
+	}
+	testRate, err := n.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testRate < 0.6 {
+		t.Fatalf("ideal hardware test rate %.3f too low", testRate)
+	}
+}
+
+func TestOLDDegradesWithVariation(t *testing.T) {
+	// Paper Sec. 3.1: OLD quality collapses as sigma grows.
+	trainSet, testSet := smallDigits(t, 20, 10, 10, 11)
+	rate := func(sigma float64) float64 {
+		n := newNCS(t, trainSet.Features(), sigma, 0, 12)
+		if _, err := OLD(n, trainSet, OLDConfig{SGD: opt.SGDConfig{Epochs: 30}}, rng.New(13)); err != nil {
+			t.Fatal(err)
+		}
+		r, err := n.Evaluate(testSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	clean := rate(0)
+	noisy := rate(1.0)
+	if noisy >= clean-0.1 {
+		t.Fatalf("sigma=1.0 OLD test rate %.3f not clearly below clean %.3f", noisy, clean)
+	}
+}
+
+func TestCLDToleratesVariationBetterThanOLD(t *testing.T) {
+	// The core Sec. 3.1 contrast: at high sigma, close-loop feedback
+	// maintains accuracy while open-loop programming cannot.
+	trainSet, testSet := smallDigits(t, 15, 10, 14, 15)
+	sigma := 0.8
+
+	nOLD := newNCS(t, trainSet.Features(), sigma, 0, 16)
+	if _, err := OLD(nOLD, trainSet, OLDConfig{SGD: opt.SGDConfig{Epochs: 30}}, rng.New(17)); err != nil {
+		t.Fatal(err)
+	}
+	oldRate, err := nOLD.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nCLD := newNCS(t, trainSet.Features(), sigma, 0, 16)
+	res, err := CLD(nCLD, trainSet, CLDConfig{Epochs: 30}, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cldRate, err := nCLD.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sigma=%.1f: OLD %.3f, CLD %.3f (train %.3f, %d epochs)",
+		sigma, oldRate, cldRate, res.TrainRate, res.Epochs)
+	if cldRate <= oldRate {
+		t.Fatalf("CLD (%.3f) should beat OLD (%.3f) under heavy variation", cldRate, oldRate)
+	}
+}
+
+func TestCLDLearnsCleanProblem(t *testing.T) {
+	trainSet, testSet := smallDigits(t, 15, 10, 18, 19)
+	n := newNCS(t, trainSet.Features(), 0, 0, 20)
+	res, err := CLD(n, trainSet, CLDConfig{Epochs: 30}, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrainRate < 0.7 {
+		t.Fatalf("CLD train rate %.3f too low on clean hardware", res.TrainRate)
+	}
+	testRate, err := n.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testRate < 0.55 {
+		t.Fatalf("CLD test rate %.3f too low on clean hardware", testRate)
+	}
+	if res.Epochs < 1 || res.Weights == nil {
+		t.Fatal("result metadata missing")
+	}
+}
+
+func TestCLDValidation(t *testing.T) {
+	trainSet, _ := smallDigits(t, 2, 1, 22, 23)
+	n := newNCS(t, trainSet.Features(), 0, 0, 24)
+	if _, err := CLD(n, &dataset.Set{}, CLDConfig{}, rng.New(1)); err == nil {
+		t.Fatal("expected empty-set error")
+	}
+	if _, err := CLD(n, trainSet, CLDConfig{}, nil); err == nil {
+		t.Fatal("expected nil-source error")
+	}
+	wrong := &dataset.Set{Size: 3, Samples: []dataset.Sample{{Pixels: make([]float64, 9), Label: 0}}}
+	if _, err := CLD(n, wrong, CLDConfig{}, rng.New(1)); err == nil {
+		t.Fatal("expected feature mismatch error")
+	}
+}
+
+func TestInjectVariation(t *testing.T) {
+	src := rng.New(30)
+	w, err := SoftwareGDT(mustSet(t, 3), dataset.NumClasses, opt.SGDConfig{Epochs: 2}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := InjectVariation(w, 0.5, rng.New(31))
+	if v == w {
+		t.Fatal("InjectVariation must return a copy")
+	}
+	changed := false
+	for i := range w.Data {
+		if w.Data[i] != 0 && v.Data[i] != w.Data[i] {
+			changed = true
+		}
+		// Sign must be preserved (multiplicative positive factor).
+		if w.Data[i]*v.Data[i] < 0 {
+			t.Fatal("variation flipped a weight sign")
+		}
+	}
+	if !changed {
+		t.Fatal("variation changed nothing")
+	}
+	same := InjectVariation(w, 0, rng.New(32))
+	for i := range w.Data {
+		if same.Data[i] != w.Data[i] {
+			t.Fatal("sigma=0 must be identity")
+		}
+	}
+}
+
+func mustSet(t *testing.T, perClass int) *dataset.Set {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	s, err := dataset.GenerateBalanced(cfg, perClass, rng.New(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err = dataset.Undersample(s, 4, dataset.Decimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSelfTunePicksInteriorGamma(t *testing.T) {
+	// With meaningful variation, the best validated gamma should not be 0
+	// (the paper's Fig. 4 peak at an interior gamma), and the returned
+	// curve must cover the grid.
+	if testing.Short() {
+		t.Skip("skipping scan in -short mode")
+	}
+	cfg := dataset.DefaultConfig()
+	set, err := dataset.GenerateBalanced(cfg, 40, rng.New(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err = dataset.Undersample(set, 2, dataset.Decimate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, gamma, curve, err := SelfTune(set, SelfTuneConfig{
+		Sigma:  0.8,
+		MCRuns: 8,
+		SGD:    opt.SGDConfig{Epochs: 25},
+		Gammas: []float64{0, 0.05, 0.1, 0.2},
+	}, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w == nil || len(curve) != 4 {
+		t.Fatal("missing outputs")
+	}
+	selected := 0
+	for _, pt := range curve {
+		if pt.SelectedByScan {
+			selected++
+			if pt.Gamma != gamma {
+				t.Fatal("selected point disagrees with returned gamma")
+			}
+		}
+	}
+	if selected != 1 {
+		t.Fatalf("%d selected points, want 1", selected)
+	}
+	if gamma == 0 {
+		t.Fatalf("self-tuning picked gamma=0 under sigma=0.8; varied-val curve: %+v", curve)
+	}
+}
+
+func TestSelfTuneValidation(t *testing.T) {
+	tiny := mustSet(t, 1)
+	tiny.Samples = tiny.Samples[:5]
+	if _, _, _, err := SelfTune(tiny, SelfTuneConfig{}, rng.New(1)); err == nil {
+		t.Fatal("expected too-few-samples error")
+	}
+	set := mustSet(t, 3)
+	if _, _, _, err := SelfTune(set, SelfTuneConfig{}, nil); err == nil {
+		t.Fatal("expected nil-source error")
+	}
+	if _, _, _, err := SelfTune(set, SelfTuneConfig{Gammas: []float64{2}, SGD: opt.SGDConfig{Epochs: 1}}, rng.New(1)); err == nil {
+		t.Fatal("expected gamma range error")
+	}
+}
+
+func TestVATProgramBeatsOLDUnderVariation(t *testing.T) {
+	// The headline Vortex mechanism in isolation: at sigma=0.8, VAT
+	// weights programmed open loop test better than GDT weights
+	// programmed open loop.
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	trainSet, testSet := smallDigits(t, 25, 15, 50, 51)
+	sigma := 0.8
+
+	vat := newNCS(t, trainSet.Features(), sigma, 0, 52)
+	if _, err := VATProgram(vat, trainSet, 0.1, sigma, 0.9, opt.SGDConfig{Epochs: 30}, rng.New(53)); err != nil {
+		t.Fatal(err)
+	}
+	vatRate, err := vat.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	old := newNCS(t, trainSet.Features(), sigma, 0, 52)
+	if _, err := OLD(old, trainSet, OLDConfig{SGD: opt.SGDConfig{Epochs: 30}}, rng.New(53)); err != nil {
+		t.Fatal(err)
+	}
+	oldRate, err := old.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sigma=%.1f: VAT %.3f vs OLD %.3f", sigma, vatRate, oldRate)
+	if vatRate <= oldRate {
+		t.Fatalf("VAT (%.3f) should beat OLD (%.3f) under variation", vatRate, oldRate)
+	}
+}
+
+func TestCLDWithSystemChainSensing(t *testing.T) {
+	// SenseBits < 0 routes feedback through the system's own output ADC —
+	// the budget option the paper argues is insufficient for CLD.
+	trainSet, _ := smallDigits(t, 10, 5, 70, 71)
+	hiRes := newNCS(t, trainSet.Features(), 0, 0, 72)
+	resHi, err := CLD(hiRes, trainSet, CLDConfig{Epochs: 15}, rng.New(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loRes := newNCS(t, trainSet.Features(), 0, 0, 72)
+	resLo, err := CLD(loRes, trainSet, CLDConfig{Epochs: 15, SenseBits: -1}, rng.New(73))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("train rate: 10-bit feedback %.3f vs 6-bit system chain %.3f",
+		resHi.TrainRate, resLo.TrainRate)
+	if resLo.TrainRate > resHi.TrainRate+0.05 {
+		t.Fatalf("coarse feedback (%.3f) should not beat dedicated sensing (%.3f)",
+			resLo.TrainRate, resHi.TrainRate)
+	}
+}
+
+func TestVariedAccuracyDefaultsRuns(t *testing.T) {
+	set := mustSet(t, 2)
+	x, l := set.ToMatrix()
+	w, err := SoftwareGDT(set, dataset.NumClasses, opt.SGDConfig{Epochs: 2}, rng.New(74))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// runs <= 0 must behave as one run, not crash or divide by zero.
+	a := VariedAccuracy(x, l, w, 0.3, 0, rng.New(75))
+	if a < 0 || a > 1 {
+		t.Fatalf("accuracy %v out of range", a)
+	}
+	// sigma = 0 over one run equals the clean accuracy.
+	clean := opt.Accuracy(x, l, w)
+	if got := VariedAccuracy(x, l, w, 0, 3, rng.New(76)); got != clean {
+		t.Fatalf("sigma=0 varied accuracy %v != clean %v", got, clean)
+	}
+}
+
+func TestOLDCompensateIRFlag(t *testing.T) {
+	// Under wire parasitics, IR-compensated OLD must land the weights
+	// better than raw OLD on identical hardware.
+	trainSet, _ := smallDigits(t, 10, 5, 77, 78)
+	raw := newNCS(t, trainSet.Features(), 0, 2.5, 79)
+	rawRes, err := OLD(raw, trainSet, OLDConfig{SGD: opt.SGDConfig{Epochs: 20}}, rng.New(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := newNCS(t, trainSet.Features(), 0, 2.5, 79)
+	compRes, err := OLD(comp, trainSet, OLDConfig{
+		SGD: opt.SGDConfig{Epochs: 20}, CompensateIR: true}, rng.New(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("train rate under IR-drop: raw %.3f vs compensated %.3f",
+		rawRes.TrainRate, compRes.TrainRate)
+	if compRes.TrainRate < rawRes.TrainRate-0.02 {
+		t.Fatalf("compensation hurt: %.3f vs %.3f", compRes.TrainRate, rawRes.TrainRate)
+	}
+}

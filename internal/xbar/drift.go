@@ -1,0 +1,65 @@
+package xbar
+
+import (
+	"errors"
+
+	"vortex/internal/device"
+	"vortex/internal/rng"
+)
+
+// Retention-drift support: each cell gets a fixed drift exponent at
+// initialization, and the crossbar tracks its age so repeated AgeTo calls
+// compose correctly (theta accumulates nu * ln(t2/t1) per step).
+
+type agingState struct {
+	model device.DriftModel
+	nus   []float64
+	now   float64 // current age [s]
+}
+
+// InitDrift samples a drift exponent for every cell and starts the
+// crossbar clock at the model's reference time. Calling it again resets
+// the clock and resamples the population.
+func (x *Crossbar) InitDrift(model device.DriftModel, src *rng.Source) error {
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	if src == nil {
+		return errors.New("xbar: nil rng source")
+	}
+	nus := make([]float64, len(x.cells))
+	for i := range nus {
+		nus[i] = model.SampleNu(src)
+	}
+	x.aging = &agingState{model: model, nus: nus, now: model.T0}
+	return nil
+}
+
+// AgeTo advances the crossbar to absolute time t, applying the
+// accumulated retention drift to every cell's observable resistance.
+// Times at or before the current age are no-ops.
+func (x *Crossbar) AgeTo(t float64) error {
+	if x.aging == nil {
+		return errors.New("xbar: InitDrift not called")
+	}
+	if t <= x.aging.now {
+		return nil
+	}
+	// Relative drift from the current age: shift = nu * ln(t/now).
+	rel := device.DriftModel{NuMean: x.aging.model.NuMean,
+		NuSigma: x.aging.model.NuSigma, T0: x.aging.now}
+	for i := range x.cells {
+		x.cells[i].Drift(rel, x.aging.nus[i], t)
+	}
+	x.aging.now = t
+	return nil
+}
+
+// Age returns the crossbar's current age in seconds (0 when drift is not
+// initialized).
+func (x *Crossbar) Age() float64 {
+	if x.aging == nil {
+		return 0
+	}
+	return x.aging.now
+}

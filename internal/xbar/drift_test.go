@@ -1,0 +1,138 @@
+package xbar
+
+import (
+	"math"
+	"testing"
+
+	"vortex/internal/device"
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+)
+
+func TestAgeToComposition(t *testing.T) {
+	// Aging in two steps must equal aging in one: theta accumulates
+	// nu*ln(t2/t0) either way.
+	cfg := baseConfig(4, 4)
+	model := device.DriftModel{NuMean: 0.05, NuSigma: 0, T0: 1}
+
+	oneStep := mustNew(t, cfg, 41)
+	if err := oneStep.InitDrift(model, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := oneStep.AgeTo(1e6); err != nil {
+		t.Fatal(err)
+	}
+
+	twoStep := mustNew(t, cfg, 41)
+	if err := twoStep.InitDrift(model, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := twoStep.AgeTo(1e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := twoStep.AgeTo(1e6); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a := oneStep.Cell(i, j).Theta
+			b := twoStep.Cell(i, j).Theta
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("aging does not compose: %v vs %v", a, b)
+			}
+		}
+	}
+	if twoStep.Age() != 1e6 {
+		t.Fatalf("age = %v", twoStep.Age())
+	}
+}
+
+func TestAgeToShiftsResistanceUp(t *testing.T) {
+	cfg := baseConfig(8, 4)
+	xb := mustNew(t, cfg, 42)
+	targets := mat.NewMatrix(8, 4)
+	targets.Fill(40e3)
+	if err := xb.ProgramTargets(targets, ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	model := device.DriftModel{NuMean: 0.05, NuSigma: 0.0, T0: 1}
+	if err := xb.InitDrift(model, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := xb.AgeTo(1e4); err != nil {
+		t.Fatal(err)
+	}
+	want := 40e3 * math.Pow(1e4, 0.05)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 4; j++ {
+			r := xb.Cell(i, j).Resistance(cfg.Model)
+			if math.Abs(r-want)/want > 1e-9 {
+				t.Fatalf("aged R = %v, want %v", r, want)
+			}
+		}
+	}
+}
+
+func TestAgeToValidation(t *testing.T) {
+	xb := mustNew(t, baseConfig(2, 2), 43)
+	if err := xb.AgeTo(10); err == nil {
+		t.Fatal("expected error before InitDrift")
+	}
+	if xb.Age() != 0 {
+		t.Fatal("uninitialized age should be 0")
+	}
+	bad := device.DriftModel{NuSigma: -1, T0: 1}
+	if err := xb.InitDrift(bad, rng.New(1)); err == nil {
+		t.Fatal("expected model validation error")
+	}
+	if err := xb.InitDrift(device.DefaultDriftModel(), nil); err == nil {
+		t.Fatal("expected nil-source error")
+	}
+	if err := xb.InitDrift(device.DefaultDriftModel(), rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Going backwards is a no-op.
+	if err := xb.AgeTo(0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xb.Age() != 1 {
+		t.Fatal("backwards aging should not move the clock")
+	}
+}
+
+func TestDriftSpreadGrowsVariation(t *testing.T) {
+	// With NuSigma > 0 the population's theta spread must widen over time.
+	cfg := baseConfig(30, 30)
+	xb := mustNew(t, cfg, 44)
+	model := device.DriftModel{NuMean: 0.03, NuSigma: 0.02, T0: 1}
+	if err := xb.InitDrift(model, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	spread := func() float64 {
+		var s, sq float64
+		n := 0
+		for i := 0; i < 30; i++ {
+			for j := 0; j < 30; j++ {
+				th := xb.Cell(i, j).Theta
+				s += th
+				sq += th * th
+				n++
+			}
+		}
+		mean := s / float64(n)
+		return math.Sqrt(sq/float64(n) - mean*mean)
+	}
+	before := spread()
+	if err := xb.AgeTo(1e6); err != nil {
+		t.Fatal(err)
+	}
+	after := spread()
+	if after <= before {
+		t.Fatalf("drift spread did not widen: %v -> %v", before, after)
+	}
+	// Consistency with the model's equivalent sigma.
+	want := model.EquivalentSigma(1e6)
+	if math.Abs(after-want)/want > 0.15 {
+		t.Fatalf("spread %v vs equivalent sigma %v", after, want)
+	}
+}

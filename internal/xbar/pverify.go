@@ -1,0 +1,106 @@
+package xbar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vortex/internal/adc"
+	"vortex/internal/device"
+	"vortex/internal/mat"
+)
+
+// VerifyOptions controls program-and-verify array programming.
+type VerifyOptions struct {
+	Program ProgramOptions  // options for the underlying pulses
+	Chain   *adc.SenseChain // per-cell sense path; nil = ideal
+	Vread   float64         // cell read voltage during verify; default 1 V
+	MaxIter int             // correction rounds per cell; default 5
+	TolLog  float64         // acceptance band on |ln(R/Rt)|; default 0.05
+}
+
+func (o VerifyOptions) withDefaults() VerifyOptions {
+	if o.Chain == nil {
+		o.Chain = adc.Ideal()
+	}
+	if o.Vread <= 0 {
+		o.Vread = 1
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 5
+	}
+	if o.TolLog <= 0 {
+		o.TolLog = 0.05
+	}
+	return o
+}
+
+// ProgramVerify programs the whole array to the target resistances with a
+// per-cell program-and-verify loop: after each pulse the cell is read
+// back through the sense chain, the controller estimates the device's
+// offset between its dead-reckoned driven state and the observed
+// resistance, and the next pulse leans against that offset. Unlike
+// open-loop programming the loop cancels parametric variation (up to the
+// sensing resolution, the device's representable range and the iteration
+// budget); unlike full close-loop training it needs no output-level
+// feedback — only the same cell-sense path AMP pre-testing uses. This is
+// the "digital-assisted" per-cell tuning style of the paper's reference
+// [7], provided as a third scheme for ablations.
+//
+// It returns the worst remaining |ln(Robs/Rt)| across the array.
+func (x *Crossbar) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (float64, error) {
+	if targets.Rows != x.cfg.Rows || targets.Cols != x.cfg.Cols {
+		return 0, errors.New("xbar: target matrix dimension mismatch")
+	}
+	opts = opts.withDefaults()
+	model := x.cfg.Model
+	worst := 0.0
+	senseLogR := func(cell *device.Memristor) float64 {
+		current := opts.Chain.Sense(opts.Vread * cell.Conductance(model))
+		if current <= 0 {
+			current = 1e-12 // below the sensing floor
+		}
+		return math.Log(opts.Vread / current)
+	}
+	clampX := func(v float64) float64 {
+		if v < model.XMin() {
+			return model.XMin()
+		}
+		if v > model.XMax() {
+			return model.XMax()
+		}
+		return v
+	}
+	for i := 0; i < targets.Rows; i++ {
+		for j := 0; j < targets.Cols; j++ {
+			rt := targets.At(i, j)
+			if rt <= 0 {
+				return 0, fmt.Errorf("xbar: non-positive target resistance at (%d,%d)", i, j)
+			}
+			xt := clampX(math.Log(rt))
+			cell := x.Cell(i, j)
+			// Controller dead reckoning of the driven state. The device
+			// starts from a known reset or previously-programmed state;
+			// the first sense anchors the estimate regardless.
+			xEst := cell.X
+			residual := math.Abs(senseLogR(cell) - xt)
+			for iter := 0; iter < opts.MaxIter && residual > opts.TolLog; iter++ {
+				measured := senseLogR(cell)
+				thetaHat := measured - xEst // estimated offset (e^theta)
+				goal := clampX(xt - thetaHat)
+				p := model.PulseForTarget(xEst, goal)
+				if p.Width > 0 {
+					if err := x.ProgramBatch([]CellPulse{{Row: i, Col: j, Pulse: p}}, opts.Program); err != nil {
+						return 0, err
+					}
+				}
+				xEst = goal
+				residual = math.Abs(senseLogR(cell) - xt)
+			}
+			if residual > worst {
+				worst = residual
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,160 @@
+package xbar
+
+import (
+	"math"
+	"testing"
+
+	"vortex/internal/adc"
+	"vortex/internal/mat"
+)
+
+func TestProgramVerifyCancelsVariation(t *testing.T) {
+	cfg := baseConfig(20, 10)
+	cfg.Sigma = 0.6
+	xb := mustNew(t, cfg, 31)
+	targets := mat.NewMatrix(20, 10)
+	targets.Fill(80e3)
+	worst, err := xb.ProgramVerify(targets, VerifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 0.05 {
+		t.Fatalf("worst residual %.4f exceeds tolerance after verify", worst)
+	}
+	// Every observable resistance must be near the target despite the
+	// heavy parametric variation.
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 10; j++ {
+			r := xb.Cell(i, j).Resistance(cfg.Model)
+			if dev := math.Abs(math.Log(r / 80e3)); dev > 0.05+1e-9 {
+				t.Fatalf("cell (%d,%d): |ln(R/Rt)| = %.4f", i, j, dev)
+			}
+		}
+	}
+}
+
+func TestProgramVerifyVsOpenLoop(t *testing.T) {
+	cfg := baseConfig(30, 10)
+	cfg.Sigma = 0.8
+	targets := mat.NewMatrix(30, 10)
+	targets.Fill(60e3)
+
+	open := mustNew(t, cfg, 32)
+	if err := open.ProgramTargets(targets, ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	verified := mustNew(t, cfg, 32) // identical fabrication
+	if _, err := verified.ProgramVerify(targets, VerifyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	devOf := func(xb *Crossbar) float64 {
+		var s float64
+		for i := 0; i < 30; i++ {
+			for j := 0; j < 10; j++ {
+				s += math.Abs(math.Log(xb.Cell(i, j).Resistance(cfg.Model) / 60e3))
+			}
+		}
+		return s
+	}
+	if devOf(verified) >= devOf(open)/5 {
+		t.Fatalf("verify (%v) not clearly better than open loop (%v)",
+			devOf(verified), devOf(open))
+	}
+}
+
+func TestProgramVerifyLimitedBySensing(t *testing.T) {
+	// With a coarse sense ADC the loop can only land within the
+	// quantization band; the residual must grow accordingly.
+	cfg := baseConfig(15, 8)
+	cfg.Sigma = 0.5
+	targets := mat.NewMatrix(15, 8)
+	targets.Fill(100e3)
+
+	fine := mustNew(t, cfg, 33)
+	worstFine, err := fine.ProgramVerify(targets, VerifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarseConv, err := adc.NewConverter(4, 0, 1.25e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := mustNew(t, cfg, 33)
+	worstCoarse, err := coarse.ProgramVerify(targets, VerifyOptions{
+		Chain: adc.NewSenseChain(coarseConv, 1, nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worstCoarse <= worstFine {
+		t.Fatalf("coarse sensing (%v) should leave a larger residual than ideal (%v)",
+			worstCoarse, worstFine)
+	}
+}
+
+func TestProgramVerifyRangeLimit(t *testing.T) {
+	// A device whose variation pushes the needed driven state outside
+	// [Ron, Roff] cannot be fixed; the residual must report that honestly.
+	cfg := baseConfig(1, 1)
+	xb := mustNew(t, cfg, 34)
+	xb.Cell(0, 0).Theta = -1.5 // observable R is e^-1.5 of driven
+	targets := mat.NewMatrix(1, 1)
+	targets.Fill(900e3) // needs driven ~ 900k*e^1.5 >> Roff
+	worst, err := xb.ProgramVerify(targets, VerifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < 0.5 {
+		t.Fatalf("expected a large honest residual, got %v", worst)
+	}
+}
+
+func TestProgramVerifyValidation(t *testing.T) {
+	xb := mustNew(t, baseConfig(2, 2), 35)
+	if _, err := xb.ProgramVerify(mat.NewMatrix(3, 2), VerifyOptions{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	bad := mat.NewMatrix(2, 2)
+	bad.Fill(50e3)
+	bad.Set(0, 1, -1)
+	if _, err := xb.ProgramVerify(bad, VerifyOptions{}); err == nil {
+		t.Fatal("expected non-positive target error")
+	}
+}
+
+func TestProgramVerifyCostAccounting(t *testing.T) {
+	cfg := baseConfig(10, 5)
+	cfg.Sigma = 0.5
+	xb := mustNew(t, cfg, 36)
+	targets := mat.NewMatrix(10, 5)
+	targets.Fill(70e3)
+	xb.ResetStats()
+	// A realistic (quantized) sense path forces correction iterations.
+	conv, err := adc.NewConverter(8, 0, 1.25e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := xb.ProgramVerify(targets, VerifyOptions{
+		Chain:  adc.NewSenseChain(conv, 1, nil),
+		TolLog: 0.02,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := xb.Stats()
+	if st.Pulses <= 50 {
+		t.Fatalf("verify of 50 varied cells under quantized sensing used only %d pulses", st.Pulses)
+	}
+	if st.PulseTime <= 0 || st.Energy <= 0 {
+		t.Fatalf("cost counters not accumulated: %+v", st)
+	}
+	// Open-loop programming of the same array must be cheaper in pulses.
+	open := mustNew(t, cfg, 36)
+	open.ResetStats()
+	if err := open.ProgramTargets(targets, ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if open.Stats().Pulses >= st.Pulses {
+		t.Fatalf("open loop (%d pulses) should be cheaper than verify (%d)",
+			open.Stats().Pulses, st.Pulses)
+	}
+}

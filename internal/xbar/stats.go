@@ -1,0 +1,57 @@
+package xbar
+
+// ProgramStats accumulates the hardware cost of programming operations on
+// a crossbar — the quantities behind the paper's motivation that OLD
+// needs one cheap pass while CLD pays for many program-and-sense
+// iterations (Sec. 1, Sec. 4).
+type ProgramStats struct {
+	Batches    int     // programming batches issued
+	Pulses     int     // individual cell pulses applied
+	PulseTime  float64 // summed pulse widths [s]
+	Energy     float64 // estimated selected-cell programming energy [J]
+	HalfSelect float64 // summed half-select exposure [cell*s], when disturb is modeled
+}
+
+// Add accumulates other into s.
+func (s *ProgramStats) Add(other ProgramStats) {
+	s.Batches += other.Batches
+	s.Pulses += other.Pulses
+	s.PulseTime += other.PulseTime
+	s.Energy += other.Energy
+	s.HalfSelect += other.HalfSelect
+}
+
+// Stats returns the accumulated programming cost since fabrication or the
+// last ResetStats.
+func (x *Crossbar) Stats() ProgramStats { return x.stats }
+
+// ResetStats clears the cost counters.
+func (x *Crossbar) ResetStats() { x.stats = ProgramStats{} }
+
+// recordPulse accounts one applied pulse: energy is approximated with the
+// trapezoid of the cell conductance over the pulse, E = V^2 * t * gAvg.
+func (x *Crossbar) recordPulse(delivered, width, gBefore, gAfter float64) {
+	x.stats.Pulses++
+	x.stats.PulseTime += width
+	x.stats.Energy += delivered * delivered * width * (gBefore + gAfter) / 2
+}
+
+// recordHalfSelect accounts the half-select exposure of a batch and its
+// (V/2)^2 leakage energy across the half-selected cells.
+func (x *Crossbar) recordHalfSelect(exposure float64) {
+	x.stats.HalfSelect += exposure
+	half := x.cfg.Model.Vprog / 2
+	// Leakage estimate at the off-state floor: half-selected cells are
+	// usually near HRS during programming sweeps.
+	x.stats.Energy += half * half * exposure / x.cfg.Model.Roff
+}
+
+// EnergyPerFullSwing returns the model's energy scale: programming one
+// nominal device across the full resistance range at full bias — a
+// convenient unit when comparing scheme costs.
+func (x *Crossbar) EnergyPerFullSwing() float64 {
+	model := x.cfg.Model
+	p := model.PulseForTarget(model.XMax(), model.XMin())
+	gAvg := (1/model.Ron + 1/model.Roff) / 2
+	return p.Voltage * p.Voltage * p.Width * gAvg
+}

@@ -1,0 +1,84 @@
+package xbar
+
+import (
+	"testing"
+
+	"vortex/internal/mat"
+)
+
+func TestStatsAccumulateAndReset(t *testing.T) {
+	cfg := baseConfig(6, 4)
+	xb := mustNew(t, cfg, 51)
+	if st := xb.Stats(); st.Pulses != 0 || st.Batches != 0 {
+		t.Fatal("fresh crossbar should have zero stats")
+	}
+	targets := mat.NewMatrix(6, 4)
+	targets.Fill(50e3)
+	if err := xb.ProgramTargets(targets, ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := xb.Stats()
+	if st.Pulses != 24 {
+		t.Fatalf("pulses = %d, want 24 (one per cell)", st.Pulses)
+	}
+	if st.Batches != 1 {
+		t.Fatalf("batches = %d, want 1", st.Batches)
+	}
+	if st.PulseTime <= 0 || st.Energy <= 0 {
+		t.Fatalf("time/energy not accumulated: %+v", st)
+	}
+	xb.ResetStats()
+	if st := xb.Stats(); st.Pulses != 0 || st.Energy != 0 {
+		t.Fatal("ResetStats did not clear")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := ProgramStats{Batches: 1, Pulses: 2, PulseTime: 3, Energy: 4, HalfSelect: 5}
+	b := ProgramStats{Batches: 10, Pulses: 20, PulseTime: 30, Energy: 40, HalfSelect: 50}
+	a.Add(b)
+	if a.Batches != 11 || a.Pulses != 22 || a.PulseTime != 33 || a.Energy != 44 || a.HalfSelect != 55 {
+		t.Fatalf("Add result %+v", a)
+	}
+}
+
+func TestHalfSelectExposureTracked(t *testing.T) {
+	cfg := baseConfig(8, 8)
+	cfg.Disturb = true
+	xb := mustNew(t, cfg, 52)
+	targets := mat.NewMatrix(8, 8)
+	targets.Fill(40e3)
+	if err := xb.ProgramTargets(targets, ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := xb.Stats()
+	if st.HalfSelect <= 0 {
+		t.Fatal("half-select exposure not tracked with disturb enabled")
+	}
+	// Each pulse half-selects (rows-1)+(cols-1) = 14 cells; the summed
+	// exposure must exceed the selected-cell pulse time accordingly.
+	if st.HalfSelect < 10*st.PulseTime {
+		t.Fatalf("half-select exposure %v implausibly low vs pulse time %v",
+			st.HalfSelect, st.PulseTime)
+	}
+}
+
+func TestEnergyPerFullSwing(t *testing.T) {
+	xb := mustNew(t, baseConfig(2, 2), 53)
+	e := xb.EnergyPerFullSwing()
+	if e <= 0 {
+		t.Fatalf("energy scale %v", e)
+	}
+	// Programming one cell across the full range should cost roughly one
+	// full-swing unit (trapezoid vs average conductance differ slightly).
+	targets := mat.NewMatrix(2, 2)
+	targets.Fill(xb.Config().Model.Ron)
+	xb.ResetStats()
+	if err := xb.ProgramTargets(targets, ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	perCell := xb.Stats().Energy / 4
+	if perCell < e/4 || perCell > e*4 {
+		t.Fatalf("full-swing cell energy %v not within 4x of the scale %v", perCell, e)
+	}
+}

@@ -1,0 +1,161 @@
+// Package vortex is a from-scratch Go reproduction of "Vortex:
+// Variation-aware Training for Memristor X-bar" (Liu, Li, Chen, Li, Wu,
+// Huang — DAC 2015).
+//
+// It provides, on top of a complete behavioural simulation stack
+// (memristor device physics, crossbar arrays with IR-drop parasitics,
+// ADC/DAC periphery, and a synthetic MNIST-like digit benchmark):
+//
+//   - the two conventional hardware training schemes the paper analyzes —
+//     close-loop on-device training (CLD) and open-loop off-device
+//     training (OLD);
+//   - the Vortex scheme: variation-aware training (VAT) with its
+//     self-tuning penalty scan, and adaptive mapping (AMP) from hardware
+//     pre-testing;
+//   - experiment drivers regenerating every figure and table of the
+//     paper's evaluation.
+//
+// # Quick start
+//
+//	trainSet, _ := vortex.Digits(400, 1)
+//	testSet, _ := vortex.Digits(200, 2)
+//	sys, _ := vortex.BuildNCS(vortex.NCSConfig{Inputs: 784, Outputs: 10,
+//		Sigma: 0.6, Redundancy: 100})
+//	res, _ := vortex.TrainVortex(sys, trainSet, vortex.DefaultVortexConfig(), 7)
+//	rate, _ := sys.Evaluate(testSet)
+//	fmt.Printf("gamma*=%.2f test rate %.1f%%\n", res.Gamma, 100*rate)
+//
+// The deeper layers (device, xbar, irdrop, adc, mapping, opt, ...) live
+// under internal/ and are documented in DESIGN.md.
+package vortex
+
+import (
+	"vortex/internal/core"
+	"vortex/internal/dataset"
+	"vortex/internal/experiment"
+	"vortex/internal/mlp"
+	"vortex/internal/ncs"
+	"vortex/internal/rng"
+	"vortex/internal/tile"
+	"vortex/internal/train"
+)
+
+// Re-exported configuration and result types.
+type (
+	// NCSConfig describes a neuromorphic computing system instance.
+	NCSConfig = ncs.Config
+	// NCS is an assembled crossbar-pair system.
+	NCS = ncs.NCS
+	// VortexConfig controls the integrated Vortex pipeline.
+	VortexConfig = core.VortexConfig
+	// VortexResult reports a Vortex training run.
+	VortexResult = core.VortexResult
+	// CLDConfig controls close-loop on-device training.
+	CLDConfig = train.CLDConfig
+	// OLDConfig controls open-loop off-device training.
+	OLDConfig = train.OLDConfig
+	// TrainResult reports a CLD/OLD training run.
+	TrainResult = train.Result
+	// DigitSet is a labeled image dataset.
+	DigitSet = dataset.Set
+	// Scale selects experiment size (Quick/Default/Full).
+	Scale = experiment.Scale
+)
+
+// Experiment scales.
+const (
+	Quick   = experiment.Quick
+	Default = experiment.Default
+	Full    = experiment.Full
+)
+
+// DefaultNCSConfig returns the paper's evaluation setup for a given
+// logical size.
+func DefaultNCSConfig(inputs, outputs int) NCSConfig {
+	return ncs.DefaultConfig(inputs, outputs)
+}
+
+// DefaultVortexConfig returns the full Vortex pipeline configuration.
+func DefaultVortexConfig() VortexConfig { return core.DefaultVortexConfig() }
+
+// BuildNCS fabricates an NCS with the given configuration and seed.
+func BuildNCS(cfg NCSConfig, seed uint64) (*NCS, error) {
+	return ncs.New(cfg, rng.New(seed))
+}
+
+// Digits generates perClass samples of every digit class at 28x28 with
+// the benchmark's default distortion model.
+func Digits(perClass int, seed uint64) (*DigitSet, error) {
+	return dataset.GenerateBalanced(dataset.DefaultConfig(), perClass, rng.New(seed))
+}
+
+// Undersample reduces a digit set by an integer factor (28 -> 14 -> 7),
+// as in the paper's Table 1.
+func Undersample(s *DigitSet, factor int) (*DigitSet, error) {
+	return dataset.Undersample(s, factor, dataset.Decimate)
+}
+
+// TrainVortex runs the integrated Vortex pipeline (pre-test, self-tuned
+// VAT, AMP, program) on the NCS.
+func TrainVortex(n *NCS, set *DigitSet, cfg VortexConfig, seed uint64) (*VortexResult, error) {
+	return core.TrainVortex(n, set, cfg, rng.New(seed))
+}
+
+// TrainCLD runs close-loop on-device training on the NCS.
+func TrainCLD(n *NCS, set *DigitSet, cfg CLDConfig, seed uint64) (*TrainResult, error) {
+	return train.CLD(n, set, cfg, rng.New(seed))
+}
+
+// TrainOLD runs open-loop off-device training on the NCS.
+func TrainOLD(n *NCS, set *DigitSet, cfg OLDConfig, seed uint64) (*TrainResult, error) {
+	return train.OLD(n, set, cfg, rng.New(seed))
+}
+
+// TrainPV runs program-and-verify training on the NCS: software GDT
+// followed by a per-cell verify loop that measures and cancels device
+// variation.
+func TrainPV(n *NCS, set *DigitSet, cfg PVConfig, seed uint64) (*TrainResult, error) {
+	return train.PV(n, set, cfg, rng.New(seed))
+}
+
+// PVConfig controls program-and-verify training.
+type PVConfig = train.PVConfig
+
+// Tiled types re-export the partitioned-crossbar support.
+type (
+	// TileConfig describes a tiled array (bounded tile geometry plus
+	// per-tile device parameters).
+	TileConfig = tile.Config
+	// TiledArray is a grid of crossbar tiles computing one logical layer
+	// with digital partial sums.
+	TiledArray = tile.Array
+)
+
+// BuildTiled fabricates a tiled array for an inputs x outputs layer.
+func BuildTiled(inputs, outputs int, cfg TileConfig, seed uint64) (*TiledArray, error) {
+	return tile.New(inputs, outputs, cfg, rng.New(seed))
+}
+
+// MLP types re-export the two-layer extension.
+type (
+	// MLPConfig controls two-layer software training (set NoiseSigma for
+	// variation-aware noise injection).
+	MLPConfig = mlp.Config
+	// MLPNet is a trained two-layer network.
+	MLPNet = mlp.Net
+	// MLPHardware is a two-layer network mapped onto two crossbar pairs.
+	MLPHardware = mlp.Hardware
+	// MLPHardwareConfig controls the mapping of an MLP onto crossbars.
+	MLPHardwareConfig = mlp.HardwareConfig
+)
+
+// TrainMLP trains a two-layer network in software.
+func TrainMLP(set *DigitSet, classes int, cfg MLPConfig, seed uint64) (*MLPNet, error) {
+	return mlp.Train(set, classes, cfg, rng.New(seed))
+}
+
+// BuildMLPHardware fabricates two crossbar pairs, programs the network
+// open loop and calibrates the inter-layer driver on calib.
+func BuildMLPHardware(net *MLPNet, cfg MLPHardwareConfig, calib *DigitSet, seed uint64) (*MLPHardware, error) {
+	return mlp.BuildHardware(net, cfg, calib, rng.New(seed))
+}

@@ -1,0 +1,121 @@
+package vortex
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README
+// quick-start does, at a reduced scale.
+func TestFacadeEndToEnd(t *testing.T) {
+	trainSet, err := Digits(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testSet, err := Digits(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSet, err = Undersample(trainSet, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testSet, err = Undersample(testSet, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultNCSConfig(trainSet.Features(), 10)
+	cfg.Sigma = 0.5
+	cfg.Redundancy = 8
+	sys, err := BuildNCS(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vcfg := DefaultVortexConfig()
+	res, err := TrainVortex(sys, trainSet, vcfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights == nil || res.TrainRate <= 0.2 {
+		t.Fatalf("vortex training failed: %+v", res.Result)
+	}
+	rate, err := sys.Evaluate(testSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0.2 {
+		t.Fatalf("test rate %.3f implausibly low", rate)
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	trainSet, err := Digits(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSet, err = Undersample(trainSet, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildNCS(DefaultNCSConfig(trainSet.Features(), 10), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainOLD(sys, trainSet, OLDConfig{}, 7); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := BuildNCS(DefaultNCSConfig(trainSet.Features(), 10), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainCLD(sys2, trainSet, CLDConfig{Epochs: 5}, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalesExported(t *testing.T) {
+	if Quick.String() != "quick" || Default.String() != "default" || Full.String() != "full" {
+		t.Fatal("scale re-exports broken")
+	}
+}
+
+func TestFacadeNewSchemes(t *testing.T) {
+	trainSet, err := Digits(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainSet, err = Undersample(trainSet, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultNCSConfig(trainSet.Features(), 10)
+	cfg.Sigma = 0.5
+	sys, err := BuildNCS(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainPV(sys, trainSet, PVConfig{}, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	net, err := TrainMLP(trainSet, 10, MLPConfig{Hidden: 12, Epochs: 5}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := BuildMLPHardware(net, MLPHardwareConfig{Sigma: 0.3}, trainSet, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hw.Evaluate(trainSet); err != nil {
+		t.Fatal(err)
+	}
+
+	tiled, err := BuildTiled(trainSet.Features(), 10, TileConfig{MaxRows: 16}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := tiled.Tiles(); r < 2 {
+		t.Fatalf("expected multiple tile rows, got %d", r)
+	}
+}
