@@ -17,7 +17,8 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel'
+	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep'
+	$(GO) test -race ./internal/fault/
 
 # Regenerates every paper table/figure plus the extension studies at
 # Default scale and records the outputs at the repository root.

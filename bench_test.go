@@ -221,3 +221,15 @@ func BenchmarkExtRetention(b *testing.B) {
 		logResult(b, "Extension — retention drift", res.Table())
 	}
 }
+
+// BenchmarkExtFaults strikes deployed systems with stuck-cell faults and
+// contrasts OLD, Vortex and Vortex plus the repair pipeline.
+func BenchmarkExtFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.FaultSweep(experiment.Default, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logResult(b, "Extension — post-deployment faults and repair", res.Table())
+	}
+}

@@ -145,6 +145,17 @@ var experiments = map[string]runner{
 			return render(r, fmt.Sprintf("(sigma=%.1f, %d redundant rows)\n", r.Sigma, r.Redundancy)), nil
 		},
 	},
+	"faults": {
+		describe: "Extension — post-deployment faults: OLD / Vortex / Vortex+repair vs stuck-cell rate",
+		run: func(s experiment.Scale, seed uint64) (string, error) {
+			r, err := experiment.FaultSweep(s, seed)
+			if err != nil {
+				return "", err
+			}
+			return render(r, fmt.Sprintf("(sigma=%.1f, %d redundant rows, %d Monte-Carlo runs)\n",
+				r.Sigma, r.Redundancy, r.MCRuns)), nil
+		},
+	},
 	"cost": {
 		describe: "Extension — hardware programming cost of each training scheme",
 		run: func(s experiment.Scale, seed uint64) (string, error) {
@@ -247,7 +258,7 @@ func parseScale(s string) (experiment.Scale, error) {
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (fig2..fig9, table1, extensions: schemes/cost/defects/mappers/precision/retention/refresh/tiling/mlp, or all)")
+		exp   = flag.String("exp", "", "experiment id (fig2..fig9, table1, extensions: schemes/cost/defects/faults/mappers/precision/retention/refresh/tiling/mlp, or all)")
 		scale = flag.String("scale", "default", "experiment scale: quick, default or full")
 		seed  = flag.Uint64("seed", 42, "random seed")
 		list  = flag.Bool("list", false, "list available experiments")

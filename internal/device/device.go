@@ -27,7 +27,11 @@ const (
 	RoffNominal = 1e6  // off-state (high) resistance, 1 MOhm
 )
 
-// DefectKind enumerates fabrication defects.
+// ROpen is the resistance presented by a cell whose access line is
+// broken (a row/column open): essentially no current path.
+const ROpen = 1e12
+
+// DefectKind enumerates fabrication- and operation-time defects.
 type DefectKind uint8
 
 const (
@@ -37,6 +41,9 @@ const (
 	DefectStuckLRS
 	// DefectStuckHRS is stuck at the high-resistance state.
 	DefectStuckHRS
+	// DefectOpen is a cell cut off from its word or bit line (a line
+	// open): it conducts essentially nothing and ignores programming.
+	DefectOpen
 )
 
 // String implements fmt.Stringer.
@@ -48,6 +55,8 @@ func (d DefectKind) String() string {
 		return "stuck-LRS"
 	case DefectStuckHRS:
 		return "stuck-HRS"
+	case DefectOpen:
+		return "open"
 	default:
 		return fmt.Sprintf("DefectKind(%d)", uint8(d))
 	}
@@ -165,16 +174,44 @@ func clamp(x, lo, hi float64) float64 {
 // variation factor e^Theta, so R = exp(X + Theta). Driving X exactly to a
 // target ln(Rt) therefore lands the observable resistance at Rt*e^Theta —
 // the lognormal variation model of paper reference [14].
+//
+// Post-deployment degradation is carried by two extra fields: Cycles
+// counts the full-bias write pulses the device has absorbed, and Wear in
+// [0, 1] narrows the switching window symmetrically around its center —
+// the endurance failure mode of filamentary RRAM, where repeated SET/RESET
+// cycling shrinks the achievable resistance ratio until the device can no
+// longer be moved (Wear = 1, a collapsed window). Wear is assigned by a
+// fault injector from Cycles and a per-device endurance draw; the device
+// itself only enforces the narrowed window.
 type Memristor struct {
 	X      float64    // ideal log-resistance state, in [ln Ron, ln Roff]
 	Theta  float64    // parametric variation, fixed at fabrication
-	Defect DefectKind // stuck-at defect, if any
+	Defect DefectKind // stuck-at/open defect, if any
+	Cycles uint64     // accumulated full-bias write pulses
+	Wear   float64    // endurance wear in [0,1]; 1 = collapsed window
 }
 
 // NewMemristor returns a healthy device initialized to the high-resistance
 // state with the given parametric variation.
 func NewMemristor(m SwitchModel, theta float64) Memristor {
 	return Memristor{X: m.XMax(), Theta: theta}
+}
+
+// EffectiveBounds returns the wear-narrowed log-resistance window of
+// this device: the full [ln Ron, ln Roff] range when pristine, shrinking
+// symmetrically toward the window center as Wear approaches 1.
+func (d *Memristor) EffectiveBounds(m SwitchModel) (lo, hi float64) {
+	lo, hi = m.XMin(), m.XMax()
+	if d.Wear <= 0 {
+		return lo, hi
+	}
+	wear := d.Wear
+	if wear > 1 {
+		wear = 1
+	}
+	center := (lo + hi) / 2
+	half := (hi - lo) / 2 * (1 - wear)
+	return center - half, center + half
 }
 
 // Resistance returns the observable resistance of the device.
@@ -184,8 +221,17 @@ func (d *Memristor) Resistance(m SwitchModel) float64 {
 		return m.Ron * math.Exp(d.Theta)
 	case DefectStuckHRS:
 		return m.Roff * math.Exp(d.Theta)
+	case DefectOpen:
+		return ROpen
 	}
-	return math.Exp(d.X + d.Theta)
+	x := d.X
+	if d.Wear > 0 {
+		// A narrowed window constrains the state even when X was forced
+		// past it by a direct assignment (reset/initialization paths).
+		lo, hi := d.EffectiveBounds(m)
+		x = clamp(x, lo, hi)
+	}
+	return math.Exp(x + d.Theta)
 }
 
 // Conductance returns 1/Resistance.
@@ -197,9 +243,17 @@ func (d *Memristor) Conductance(m SwitchModel) float64 {
 // an extra additive perturbation of the achieved delta-x modeling
 // cycle-to-cycle switching variation; pass 0 for a noiseless model.
 // Defective devices ignore programming.
+//
+// Pulses near full bias (above 60% of Vprog — i.e. real write events, not
+// half-select disturb exposure) increment the device's Cycles counter,
+// the input to endurance-wear fault models. A wear-narrowed window clamps
+// the achieved state.
 func (d *Memristor) Program(m SwitchModel, p Pulse, cycleNoise float64) {
 	if d.Defect != DefectNone {
 		return
+	}
+	if p.Width > 0 && math.Abs(p.Voltage) > 0.6*m.Vprog {
+		d.Cycles++
 	}
 	before := d.X
 	after := m.Advance(d.X, p)
@@ -207,6 +261,10 @@ func (d *Memristor) Program(m SwitchModel, p Pulse, cycleNoise float64) {
 	if cycleNoise != 0 && moved != 0 {
 		// Switching variation scales with the amount of switching.
 		after = clamp(before+moved*(1+cycleNoise), m.XMin(), m.XMax())
+	}
+	if d.Wear > 0 {
+		lo, hi := d.EffectiveBounds(m)
+		after = clamp(after, lo, hi)
 	}
 	d.X = after
 }

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFaultSweepRepairRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-based integration test")
+	}
+	res, err := FaultSweep(Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rates) != 2 || res.Rates[0] != 0 {
+		t.Fatalf("quick sweep rates %v", res.Rates)
+	}
+	// At zero fault rate everything must be healthy and the sweep arms
+	// comparable.
+	if res.Vortex[0] < 0.5 || res.Repaired[0] < 0.5 {
+		t.Fatalf("healthy baselines too weak: vortex %.3f repaired %.3f",
+			res.Vortex[0], res.Repaired[0])
+	}
+	last := len(res.Rates) - 1
+	// Faults must hurt the unrepaired system...
+	if res.Vortex[last] >= res.Vortex[0] {
+		t.Fatalf("stuck cells did not hurt: %.3f -> %.3f", res.Vortex[0], res.Vortex[last])
+	}
+	// ...and the repair pipeline must claw accuracy back (the headline
+	// acceptance criterion: strictly better than no repair at a high
+	// stuck rate).
+	if res.Repaired[last] <= res.Vortex[last] {
+		t.Fatalf("repair did not improve on no-repair at rate %.2f: %.3f vs %.3f",
+			res.Rates[last], res.Repaired[last], res.Vortex[last])
+	}
+	if table := res.Table(); !strings.Contains(table, "Vortex+repair%") {
+		t.Fatalf("table missing repair column:\n%s", table)
+	}
+	if csv := res.CSV(); !strings.Contains(csv, "fault rate") {
+		t.Fatalf("csv missing header:\n%s", csv)
+	}
+}
+
+func TestFaultSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-based integration test")
+	}
+	a, err := FaultSweep(Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultSweep(Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%s\nvs\n%s", a.Table(), b.Table())
+	}
+}

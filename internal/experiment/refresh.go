@@ -100,7 +100,7 @@ func Refresh(scale Scale, seed uint64) (*RefreshResult, error) {
 			if err := refreshed.AgeTo(nextRefresh); err != nil {
 				return nil, err
 			}
-			if err := refreshed.ProgramWeightsVerify(trained.Weights, xbar.VerifyOptions{}); err != nil {
+			if _, err := refreshed.ProgramWeightsVerify(trained.Weights, xbar.VerifyOptions{}); err != nil {
 				return nil, err
 			}
 			res.Refreshes++

@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"errors"
+	"math"
+
+	"vortex/internal/mapping"
+	"vortex/internal/mat"
+	"vortex/internal/ncs"
+	"vortex/internal/xbar"
+)
+
+// Policy sets the knobs of the repair pipeline.
+type Policy struct {
+	// Scan configures the health scan of each round.
+	Scan ScanOptions
+	// Verify configures the program-and-verify pass of each round.
+	Verify xbar.VerifyOptions
+	// MaxRounds bounds the scan -> remap -> reprogram attempts before
+	// the pipeline gives up. Zero means the default 2; one round is the
+	// plain detect-and-remap pass, further rounds catch cells that die
+	// during reprogramming itself (wear-driven collapses).
+	MaxRounds int
+	// DeadPenalty is the per-unit-weight remap cost of a dead cell;
+	// zero or negative selects mapping.DefaultDeadPenalty.
+	DeadPenalty float64
+	// MaxDeadFraction is the give-up threshold: if the scan finds more
+	// than this fraction of all cells dead, the array is declared
+	// degraded and no remap is attempted (the redundancy pool cannot
+	// absorb the damage, and reprogramming would just burn write
+	// cycles). Zero means the default 0.25.
+	MaxDeadFraction float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxRounds <= 0 {
+		p.MaxRounds = 2
+	}
+	if p.MaxDeadFraction <= 0 {
+		p.MaxDeadFraction = 0.25
+	}
+	return p
+}
+
+// Outcome reports what a repair pass did and where it ended.
+type Outcome struct {
+	// Rounds actually executed (>= 1).
+	Rounds int
+	// Map is the health map from the final scan.
+	Map *Map
+	// RowMap is the row mapping in force when the pipeline stopped.
+	RowMap []int
+	// Damage is the residual dead-cell decode error of the final mapping
+	// (mapping.DeadCellDamage against the final scan, in weight units):
+	// zero means every dead cell is either unmapped or pinned exactly
+	// where its assigned weight wants it — the success criterion.
+	Damage float64
+	// FailedMapped counts mapped cells whose final program-and-verify
+	// did not converge. Informational: it includes cells whose target
+	// is honestly unreachable under their variation factor (which
+	// remapping already minimized), so it is nonzero even on healthy
+	// high-sigma arrays.
+	FailedMapped int
+	// Remapped is true if any round changed the row mapping.
+	Remapped bool
+	// Degraded is true if the pipeline gave up: the dead fraction
+	// exceeded Policy.MaxDeadFraction, or mapped verify failures
+	// persisted after MaxRounds.
+	Degraded bool
+}
+
+// Repair runs the detect -> fault-aware remap -> reprogram -> verify
+// pipeline on the NCS for the given weight matrix: scan both arrays for
+// dead cells, recompute the row assignment with mapping.OptimalFaultAware
+// so high-salience weight rows avoid the casualties, reprogram through
+// program-and-verify, and judge the round by the residual dead-cell
+// damage of the new mapping. Rounds repeat while damage remains and is
+// still improving, up to Policy.MaxRounds; the scan of a later round
+// sees cells that died during the previous round's reprogramming.
+//
+// The pipeline gives up without remapping when a scan finds more than
+// Policy.MaxDeadFraction of all cells dead, reporting Degraded instead
+// of spending write cycles on an array the redundancy pool cannot save.
+// The NCS is left programmed under the last attempted mapping either
+// way, so a degraded system keeps operating as well as it can.
+func Repair(n *ncs.NCS, w *mat.Matrix, pol Policy) (*Outcome, error) {
+	if n == nil {
+		return nil, errors.New("fault: nil NCS")
+	}
+	if w == nil {
+		return nil, errors.New("fault: nil weights")
+	}
+	if w.Rows != n.Config().Inputs || w.Cols != n.Config().Outputs {
+		return nil, errors.New("fault: weight shape disagrees with NCS config")
+	}
+	pol = pol.withDefaults()
+	out := &Outcome{RowMap: n.RowMap()}
+	prevDamage := math.Inf(1)
+	for out.Rounds < pol.MaxRounds {
+		out.Rounds++
+		m, err := Scan(n, pol.Scan)
+		if err != nil {
+			return nil, err
+		}
+		out.Map = m
+		deadPos, deadNeg := m.DeadMasks()
+		if m.DeadFraction() > pol.MaxDeadFraction {
+			out.Degraded = true
+			out.Damage = mapping.DeadCellDamage(w, deadPos, deadNeg, out.RowMap)
+			return out, nil
+		}
+		rowMap, err := mapping.OptimalFaultAware(w, m.FPos, m.FNeg, deadPos, deadNeg, pol.DeadPenalty)
+		if err != nil {
+			return nil, err
+		}
+		if !sameMap(rowMap, out.RowMap) {
+			out.Remapped = true
+		}
+		if err := n.SetRowMap(rowMap); err != nil {
+			return nil, err
+		}
+		out.RowMap = rowMap
+		vout, err := n.ProgramWeightsVerify(w, pol.Verify)
+		if err != nil {
+			return nil, err
+		}
+		out.FailedMapped = n.FailedMapped(vout)
+		out.Damage = mapping.DeadCellDamage(w, deadPos, deadNeg, rowMap)
+		if out.Damage == 0 {
+			return out, nil
+		}
+		if out.Damage >= prevDamage {
+			// A further round would rescan the same world and reach the
+			// same assignment: no progress is possible.
+			break
+		}
+		prevDamage = out.Damage
+	}
+	out.Degraded = true
+	return out, nil
+}
+
+func sameMap(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package mapping
+
+import (
+	"errors"
+	"math"
+
+	"vortex/internal/mat"
+)
+
+// This file extends the assignment-based AMP variants with an explicit
+// fault model. Plain SWV already disfavors dead cells when the pre-test
+// factors capture them (a stuck or open cell shows an extreme factor),
+// but the measured factor saturates at the sense chain's observable
+// range, so the implied penalty is bounded and can be out-bid by a row's
+// variation profile. The fault-aware cost makes death explicit, using
+// the one thing a health scan measures about a dead cell: where it is
+// pinned.
+//
+// Dead masks use a pin encoding: entry 0 marks a healthy cell; an entry
+// m > 0 marks a dead cell pinned at conductance level m-1 in weight
+// units (0 = off/HRS/open, WMax = fully on/LRS). The cost of placing a
+// weight on a dead cell is |pin - carried|, the exact decode error the
+// pinned cell will contribute: a stuck-HRS cell under a parked weight
+// costs nothing, a stuck-LRS cell under a parked weight costs a full
+// scale, and a stuck-LRS cell under a matching large weight is nearly
+// free — the optimizer can exploit casualties, not just avoid them.
+
+// DefaultDeadPenalty is the cost multiplier per unit of dead-cell decode
+// error. Healthy-cell SWV contributions are |w*(1-e^theta)|, rarely
+// above 2-3|w| even at sigma = 1; the multiplier makes a unit of known
+// dead-cell error clearly more expensive than the worst plausible
+// healthy-cell variation, so fault placement dominates the assignment
+// wherever the two conflict.
+const DefaultDeadPenalty = 8.0
+
+// deadCost returns the fault penalty of placing the signed weight row on
+// physical row q: the summed |pin - carried| decode error over dead
+// cells, where carried is the conductance level the weight asks of that
+// cell (positive weights load the positive array, negative the negative
+// array, parked cells sit at level 0).
+func deadCost(wRow []float64, deadPos, deadNeg *mat.Matrix, q int) float64 {
+	dp := deadPos.Row(q)
+	dn := deadNeg.Row(q)
+	s := 0.0
+	for j, w := range wRow {
+		if dp[j] > 0 {
+			carried := 0.0
+			if w > 0 {
+				carried = w
+			}
+			s += math.Abs(dp[j] - 1 - carried)
+		}
+		if dn[j] > 0 {
+			carried := 0.0
+			if w < 0 {
+				carried = -w
+			}
+			s += math.Abs(dn[j] - 1 - carried)
+		}
+	}
+	return s
+}
+
+// OptimalFaultAware computes the row assignment minimizing the total
+// pair-SWV plus a dead-cell decode-error penalty, via the Hungarian
+// algorithm: the Optimal cost matrix is extended with penalty*|pin - w|
+// for every weight landing on a cell marked dead in deadPos/deadNeg
+// (physRows x cols pin-encoded masks — 0 healthy, 1+pin dead — as
+// produced by a fault-map scan). A non-positive penalty selects
+// DefaultDeadPenalty. With no dead cells it degenerates to Optimal
+// exactly.
+//
+// This is the remap step of the detect -> remap -> reprogram repair
+// pipeline: weight rows redistribute so that each dead cell ends up
+// under the logical weight it hurts least (ideally one matching its
+// pinned level), and the redundancy pool absorbs rows too damaged to
+// place well.
+func OptimalFaultAware(w, fpos, fneg, deadPos, deadNeg *mat.Matrix, penalty float64) ([]int, error) {
+	if fpos.Rows != fneg.Rows || fpos.Cols != fneg.Cols {
+		return nil, errors.New("mapping: factor matrices disagree")
+	}
+	if fpos.Cols != w.Cols {
+		return nil, errors.New("mapping: factor/weight column mismatch")
+	}
+	if fpos.Rows < w.Rows {
+		return nil, errors.New("mapping: fewer physical rows than weight rows")
+	}
+	if deadPos.Rows != fpos.Rows || deadPos.Cols != fpos.Cols ||
+		deadNeg.Rows != fneg.Rows || deadNeg.Cols != fneg.Cols {
+		return nil, errors.New("mapping: dead mask dimension mismatch")
+	}
+	if penalty <= 0 {
+		penalty = DefaultDeadPenalty
+	}
+	cost := mat.NewMatrix(w.Rows, fpos.Rows)
+	for p := 0; p < w.Rows; p++ {
+		row := w.Row(p)
+		dst := cost.Row(p)
+		for q := 0; q < fpos.Rows; q++ {
+			dst[q] = PairSWV(row, fpos, fneg, q) + penalty*deadCost(row, deadPos, deadNeg, q)
+		}
+	}
+	return Assign(cost)
+}
+
+// DeadCellDamage scores a mapping against a fault map: the summed
+// |pin - carried| decode error over every dead cell under a mapped row
+// (pin-encoded masks as for OptimalFaultAware). Zero means every dead
+// cell is pinned exactly where its assigned weight wants it. It is the
+// quantity OptimalFaultAware trades against SWV, and the success
+// criterion of the repair pipeline.
+func DeadCellDamage(w, deadPos, deadNeg *mat.Matrix, rowMap []int) float64 {
+	if len(rowMap) != w.Rows {
+		panic("mapping: rowMap length mismatch")
+	}
+	s := 0.0
+	for p := 0; p < w.Rows; p++ {
+		s += deadCost(w.Row(p), deadPos, deadNeg, rowMap[p])
+	}
+	return s
+}

@@ -1,0 +1,121 @@
+package mapping
+
+import (
+	"testing"
+
+	"vortex/internal/mat"
+)
+
+// uniformFactors returns a physRows x cols factor matrix of all ones
+// (no variation), so tests isolate the dead-cell term.
+func uniformFactors(rows, cols int) *mat.Matrix {
+	f := mat.NewMatrix(rows, cols)
+	f.Fill(1)
+	return f
+}
+
+func TestOptimalFaultAwareAvoidsDeadRows(t *testing.T) {
+	// 3 weight rows, 5 physical rows, 2 columns. Physical rows 0 and 1
+	// have a cell stuck off (pin 0); 2..4 are clean. Enough clean rows
+	// and harmless placements exist for a zero-damage assignment.
+	w := mat.FromRows([][]float64{{1, 0.5}, {-0.8, 0.2}, {0.3, -0.9}})
+	fpos := uniformFactors(5, 2)
+	fneg := uniformFactors(5, 2)
+	deadPos := mat.NewMatrix(5, 2)
+	deadNeg := mat.NewMatrix(5, 2)
+	deadPos.Set(0, 0, 1)
+	deadNeg.Set(1, 1, 1)
+	m, err := OptimalFaultAware(w, fpos, fneg, deadPos, deadNeg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damage := DeadCellDamage(w, deadPos, deadNeg, m); damage != 0 {
+		t.Fatalf("mapping %v leaves dead-cell damage %v with clean rows available", m, damage)
+	}
+}
+
+func TestOptimalFaultAwareDegeneratesToOptimal(t *testing.T) {
+	w := mat.FromRows([][]float64{{1, -0.4}, {0.2, 0.7}})
+	fpos := mat.FromRows([][]float64{{1.4, 0.9}, {1.0, 1.1}, {0.6, 1.8}})
+	fneg := mat.FromRows([][]float64{{0.8, 1.2}, {1.3, 0.7}, {1.1, 1.0}})
+	noDead := mat.NewMatrix(3, 2)
+	plain, err := Optimal(w, fpos, fneg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := OptimalFaultAware(w, fpos, fneg, noDead, mat.NewMatrix(3, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if plain[i] != aware[i] {
+			t.Fatalf("with no dead cells fault-aware %v must equal optimal %v", aware, plain)
+		}
+	}
+}
+
+func TestOptimalFaultAwareSalienceTradeoff(t *testing.T) {
+	// Two weight rows, two physical rows, every physical row has a dead
+	// cell in one column: row 0 is dead in column 0, row 1 in column 1.
+	// The high-salience weight in column 0 (logical row 0) must land on
+	// physical row 1 (dead only in column 1, where row 0's weight is 0).
+	w := mat.FromRows([][]float64{{1, 0}, {0, 0.1}})
+	fpos := uniformFactors(2, 2)
+	fneg := uniformFactors(2, 2)
+	deadPos := mat.NewMatrix(2, 2)
+	deadPos.Set(0, 0, 1)
+	deadPos.Set(1, 1, 1)
+	m, err := OptimalFaultAware(w, fpos, fneg, deadPos, mat.NewMatrix(2, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 1 || m[1] != 0 {
+		t.Fatalf("mapping %v: the large column-0 weight must avoid the dead column-0 cell", m)
+	}
+	// Each row's nonzero weight dodges its assigned row's stuck-off
+	// cell, which is harmless under the parked weights left on it.
+	if damage := DeadCellDamage(w, deadPos, mat.NewMatrix(2, 2), m); damage != 0 {
+		t.Fatalf("damage %v, want 0", damage)
+	}
+	// The identity mapping, by contrast, kills the salient weight.
+	if damage := DeadCellDamage(w, deadPos, mat.NewMatrix(2, 2), []int{0, 1}); damage != 1.1 {
+		t.Fatalf("identity damage %v, want 1.1", damage)
+	}
+}
+
+func TestOptimalFaultAwareExploitsPinnedCells(t *testing.T) {
+	// One cell stuck fully on (pin encoding 2 = pinned at weight level 1)
+	// in column 0 of physical row 0. A parked or small weight there reads
+	// as a large spurious positive weight; the full-scale positive weight
+	// is exactly what the pin delivers. The assignment must place the
+	// w=1 row on the stuck cell — exploiting the casualty, not dodging it.
+	w := mat.FromRows([][]float64{{1, 0}, {0, 0.5}})
+	f := uniformFactors(2, 2)
+	deadPos := mat.NewMatrix(2, 2)
+	deadPos.Set(0, 0, 2)
+	m, err := OptimalFaultAware(w, f, f, deadPos, mat.NewMatrix(2, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[0] != 0 {
+		t.Fatalf("mapping %v: the full-scale weight must land on the stuck-on cell", m)
+	}
+	if damage := DeadCellDamage(w, deadPos, mat.NewMatrix(2, 2), m); damage != 0 {
+		t.Fatalf("damage %v, want 0 (pin matches the carried weight)", damage)
+	}
+	// Swapped, the parked cell reads a phantom full-scale weight.
+	if damage := DeadCellDamage(w, deadPos, mat.NewMatrix(2, 2), []int{1, 0}); damage != 1 {
+		t.Fatalf("swapped damage %v, want 1", damage)
+	}
+}
+
+func TestOptimalFaultAwareValidation(t *testing.T) {
+	w := mat.NewMatrix(2, 2)
+	f := uniformFactors(3, 2)
+	if _, err := OptimalFaultAware(w, f, f, mat.NewMatrix(2, 2), mat.NewMatrix(3, 2), 0); err == nil {
+		t.Fatal("expected dead mask dimension error")
+	}
+	if _, err := OptimalFaultAware(w, f, uniformFactors(4, 2), mat.NewMatrix(3, 2), mat.NewMatrix(3, 2), 0); err == nil {
+		t.Fatal("expected factor disagreement error")
+	}
+}

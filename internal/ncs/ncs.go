@@ -75,6 +75,9 @@ func (c Config) Validate() error {
 	if c.ADCBits < 0 {
 		return errors.New("ncs: negative ADC bits")
 	}
+	if c.DefectRate < 0 || c.DefectRate >= 1 {
+		return fmt.Errorf("ncs: defect rate %v out of [0,1)", c.DefectRate)
+	}
 	return c.Model.Validate()
 }
 
@@ -336,27 +339,79 @@ func (n *NCS) Evaluate(set *dataset.Set) (float64, error) {
 	return float64(correct) / float64(set.Len()), nil
 }
 
+// VerifyOutcome pairs the per-array verify reports of one
+// ProgramWeightsVerify pass on a crossbar pair.
+type VerifyOutcome struct {
+	Pos, Neg xbar.VerifyReport
+}
+
+// Failed returns the total number of cells, across both arrays, that did
+// not converge to their target.
+func (o VerifyOutcome) Failed() int { return o.Pos.Failed() + o.Neg.Failed() }
+
+// Worst returns the worse of the two arrays' worst residuals.
+func (o VerifyOutcome) Worst() float64 {
+	if o.Neg.Worst > o.Pos.Worst {
+		return o.Neg.Worst
+	}
+	return o.Pos.Worst
+}
+
+// FailedMapped counts non-converged cells restricted to the physical
+// rows a logical row is currently mapped to. Failures on unmapped
+// (redundant) rows carry no weight and do not degrade inference — a
+// stuck-LRS cell on a spare row simply cannot be parked at HRS — so
+// repair policies judge a reprogramming pass by this count, not Failed.
+func (n *NCS) FailedMapped(o VerifyOutcome) int {
+	mapped := make([]bool, n.PhysRows())
+	for _, p := range n.rowMap {
+		mapped[p] = true
+	}
+	cols := n.cfg.Outputs
+	count := 0
+	for _, rep := range []xbar.VerifyReport{o.Pos, o.Neg} {
+		if len(rep.Verdicts) != n.PhysRows()*cols {
+			continue
+		}
+		for q := 0; q < n.PhysRows(); q++ {
+			if !mapped[q] {
+				continue
+			}
+			for j := 0; j < cols; j++ {
+				if rep.Verdicts[q*cols+j] != xbar.VerdictConverged {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
 // ProgramWeightsVerify programs a logical weight matrix with the
 // per-cell program-and-verify loop (xbar.ProgramVerify) instead of one
 // open-loop pass: each device's offset — parametric variation plus any
 // accumulated drift — is measured and canceled up to the verify
-// tolerance. This is the refresh primitive for aged systems.
-func (n *NCS) ProgramWeightsVerify(w *mat.Matrix, vopts xbar.VerifyOptions) error {
+// tolerance. This is the refresh primitive for aged systems and the
+// reprogramming step of the fault-repair pipeline. The returned outcome
+// carries both arrays' verify reports (worst residual, per-cell
+// verdicts, give-up counts).
+func (n *NCS) ProgramWeightsVerify(w *mat.Matrix, vopts xbar.VerifyOptions) (VerifyOutcome, error) {
+	var out VerifyOutcome
 	if w.Rows != n.cfg.Inputs || w.Cols != n.cfg.Outputs {
-		return errors.New("ncs: weight matrix dimension mismatch")
+		return out, errors.New("ncs: weight matrix dimension mismatch")
 	}
 	pos, neg, err := n.codec.TargetResistances(w, n.rowMap, n.PhysRows())
 	if err != nil {
-		return err
+		return out, err
 	}
-	if _, err := n.Pos.ProgramVerify(pos, vopts); err != nil {
-		return err
+	if out.Pos, err = n.Pos.ProgramVerify(pos, vopts); err != nil {
+		return VerifyOutcome{}, err
 	}
-	if _, err := n.Neg.ProgramVerify(neg, vopts); err != nil {
-		return err
+	if out.Neg, err = n.Neg.ProgramVerify(neg, vopts); err != nil {
+		return VerifyOutcome{}, err
 	}
 	n.Invalidate()
-	return nil
+	return out, nil
 }
 
 // InitDrift initializes retention drift on both arrays (see

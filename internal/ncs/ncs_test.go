@@ -222,17 +222,48 @@ func TestRowMapInvariance(t *testing.T) {
 
 func TestSetRowMapValidation(t *testing.T) {
 	n := newIdeal(t, 4, 2)
-	if err := n.SetRowMap([]int{0, 1, 2}); err == nil {
-		t.Fatal("expected length error")
-	}
-	if err := n.SetRowMap([]int{0, 1, 2, 9}); err == nil {
-		t.Fatal("expected range error")
-	}
-	if err := n.SetRowMap([]int{0, 1, 2, 2}); err == nil {
-		t.Fatal("expected duplicate error")
-	}
 	if err := n.SetRowMap([]int{3, 2, 1, 0}); err != nil {
 		t.Fatal(err)
+	}
+	installed := []int{3, 2, 1, 0}
+	for _, tc := range []struct {
+		name string
+		m    []int
+	}{
+		{"short", []int{0, 1, 2}},
+		{"long", []int{0, 1, 2, 3, 0}},
+		{"out of range high", []int{0, 1, 2, 9}},
+		{"negative", []int{0, 1, 2, -1}},
+		{"duplicate", []int{0, 1, 2, 2}},
+	} {
+		if err := n.SetRowMap(tc.m); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		// A rejected map must leave the installed mapping untouched.
+		got := n.RowMap()
+		for i := range installed {
+			if got[i] != installed[i] {
+				t.Fatalf("%s: row map mutated to %v after rejected input", tc.name, got)
+			}
+		}
+	}
+}
+
+func TestValidateBoundsDefectRate(t *testing.T) {
+	for _, rate := range []float64{-0.1, 1, 1.5} {
+		cfg := DefaultConfig(4, 2)
+		cfg.DefectRate = rate
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("DefectRate %v passed validation", rate)
+		}
+		if _, err := New(cfg, rng.New(1)); err == nil {
+			t.Fatalf("New accepted DefectRate %v", rate)
+		}
+	}
+	cfg := DefaultConfig(4, 2)
+	cfg.DefectRate = 0.5
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("valid defect rate rejected: %v", err)
 	}
 }
 

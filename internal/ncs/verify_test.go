@@ -30,8 +30,12 @@ func TestProgramWeightsVerifyCancelsVariation(t *testing.T) {
 	openErr := weightError(n, w)
 
 	// ...verify-programming cancels it.
-	if err := n.ProgramWeightsVerify(w, xbar.VerifyOptions{TolLog: 0.01, MaxIter: 8}); err != nil {
+	out, err := n.ProgramWeightsVerify(w, xbar.VerifyOptions{TolLog: 0.01, MaxIter: 8})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if out.Pos.Converged+out.Pos.Failed() != n.PhysRows()*3 {
+		t.Fatalf("outcome does not cover the array: %+v", out.Pos)
 	}
 	verifyErr := weightError(n, w)
 	t.Logf("decoded-weight error: open loop %.4f vs verify %.4f", openErr, verifyErr)
@@ -42,7 +46,7 @@ func TestProgramWeightsVerifyCancelsVariation(t *testing.T) {
 		t.Fatalf("verify programming (%.4f) not clearly better than open loop (%.4f)",
 			verifyErr, openErr)
 	}
-	if err := n.ProgramWeightsVerify(mat.NewMatrix(2, 3), xbar.VerifyOptions{}); err == nil {
+	if _, err := n.ProgramWeightsVerify(mat.NewMatrix(2, 3), xbar.VerifyOptions{}); err == nil {
 		t.Fatal("expected dimension error")
 	}
 }
@@ -69,7 +73,7 @@ func TestProgramWeightsVerifyRespectsRowMap(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := mat.FromRows([][]float64{{0.5, -0.5}, {1, 0}, {-1, 0.2}, {0, 0.9}})
-	if err := n.ProgramWeightsVerify(w, xbar.VerifyOptions{TolLog: 0.01, MaxIter: 8}); err != nil {
+	if _, err := n.ProgramWeightsVerify(w, xbar.VerifyOptions{TolLog: 0.01, MaxIter: 8}); err != nil {
 		t.Fatal(err)
 	}
 	if e := weightError(n, w); e > 0.12 {

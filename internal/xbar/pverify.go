@@ -17,6 +17,15 @@ type VerifyOptions struct {
 	Vread   float64         // cell read voltage during verify; default 1 V
 	MaxIter int             // correction rounds per cell; default 5
 	TolLog  float64         // acceptance band on |ln(R/Rt)|; default 0.05
+
+	// Patience bounds the retries spent on a cell that is not getting
+	// closer to its target: after this many consecutive non-improving
+	// correction rounds the cell is abandoned with VerdictStuck instead
+	// of burning the rest of the MaxIter budget. Stuck-at, open and
+	// wear-collapsed devices exit after Patience rounds; oscillating
+	// cells (e.g. at a coarse sense ADC's quantization floor) likewise.
+	// Default 2; negative disables the guard.
+	Patience int
 }
 
 func (o VerifyOptions) withDefaults() VerifyOptions {
@@ -32,7 +41,68 @@ func (o VerifyOptions) withDefaults() VerifyOptions {
 	if o.TolLog <= 0 {
 		o.TolLog = 0.05
 	}
+	if o.Patience == 0 {
+		o.Patience = 2
+	}
 	return o
+}
+
+// CellVerdict classifies the outcome of the per-cell verify loop.
+type CellVerdict uint8
+
+const (
+	// VerdictConverged means the cell landed within TolLog of its target.
+	VerdictConverged CellVerdict = iota
+	// VerdictExhausted means the cell spent the full MaxIter budget while
+	// still improving, but ended outside the tolerance band.
+	VerdictExhausted
+	// VerdictStuck means the loop gave up early: Patience consecutive
+	// correction rounds produced no residual improvement (a stuck-at,
+	// open or wear-collapsed device, or an unreachable target).
+	VerdictStuck
+)
+
+// String implements fmt.Stringer.
+func (v CellVerdict) String() string {
+	switch v {
+	case VerdictConverged:
+		return "converged"
+	case VerdictExhausted:
+		return "exhausted"
+	case VerdictStuck:
+		return "stuck"
+	default:
+		return fmt.Sprintf("CellVerdict(%d)", uint8(v))
+	}
+}
+
+// VerifyReport summarizes a ProgramVerify pass. Worst is the largest
+// remaining |ln(Robs/Rt)| across the array; the counters partition the
+// cells by verdict so callers can distinguish "everything converged"
+// from "some cells gave up" — the distinction the repair pipeline keys
+// on. Verdicts holds the per-cell outcome in row-major order.
+type VerifyReport struct {
+	Worst     float64       // worst remaining |ln(Robs/Rt)|
+	Converged int           // cells within TolLog
+	Exhausted int           // cells that ran out of MaxIter
+	Stuck     int           // cells abandoned early by the Patience guard
+	Verdicts  []CellVerdict // per-cell verdicts, row-major
+}
+
+// Failed returns the number of cells that did not converge.
+func (r VerifyReport) Failed() int { return r.Exhausted + r.Stuck }
+
+// Merge folds another report into this one (used to combine the
+// positive and negative arrays of a crossbar pair). Verdict slices are
+// not concatenated — per-cell geometry differs between arrays — so
+// Merge keeps only the counters and the worst residual.
+func (r *VerifyReport) Merge(other VerifyReport) {
+	if other.Worst > r.Worst {
+		r.Worst = other.Worst
+	}
+	r.Converged += other.Converged
+	r.Exhausted += other.Exhausted
+	r.Stuck += other.Stuck
 }
 
 // ProgramVerify programs the whole array to the target resistances with a
@@ -47,14 +117,20 @@ func (o VerifyOptions) withDefaults() VerifyOptions {
 // the "digital-assisted" per-cell tuning style of the paper's reference
 // [7], provided as a third scheme for ablations.
 //
-// It returns the worst remaining |ln(Robs/Rt)| across the array.
-func (x *Crossbar) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (float64, error) {
+// It returns a VerifyReport: the worst remaining |ln(Robs/Rt)| across the
+// array plus per-cell verdicts partitioned into converged (inside the
+// TolLog band), exhausted (MaxIter spent while still improving) and stuck
+// (abandoned early by the Patience guard because corrections stopped
+// helping). A hopeless cell therefore costs at most Patience+1 correction
+// rounds, not MaxIter.
+func (x *Crossbar) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (VerifyReport, error) {
+	var rep VerifyReport
 	if targets.Rows != x.cfg.Rows || targets.Cols != x.cfg.Cols {
-		return 0, errors.New("xbar: target matrix dimension mismatch")
+		return rep, errors.New("xbar: target matrix dimension mismatch")
 	}
 	opts = opts.withDefaults()
 	model := x.cfg.Model
-	worst := 0.0
+	rep.Verdicts = make([]CellVerdict, x.cfg.Rows*x.cfg.Cols)
 	senseLogR := func(cell *device.Memristor) float64 {
 		current := opts.Chain.Sense(opts.Vread * cell.Conductance(model))
 		if current <= 0 {
@@ -75,7 +151,7 @@ func (x *Crossbar) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (float
 		for j := 0; j < targets.Cols; j++ {
 			rt := targets.At(i, j)
 			if rt <= 0 {
-				return 0, fmt.Errorf("xbar: non-positive target resistance at (%d,%d)", i, j)
+				return VerifyReport{}, fmt.Errorf("xbar: non-positive target resistance at (%d,%d)", i, j)
 			}
 			xt := clampX(math.Log(rt))
 			cell := x.Cell(i, j)
@@ -84,23 +160,51 @@ func (x *Crossbar) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (float
 			// the first sense anchors the estimate regardless.
 			xEst := cell.X
 			residual := math.Abs(senseLogR(cell) - xt)
+			best := residual
+			stall := 0
+			verdict := VerdictConverged
 			for iter := 0; iter < opts.MaxIter && residual > opts.TolLog; iter++ {
+				verdict = VerdictExhausted
 				measured := senseLogR(cell)
 				thetaHat := measured - xEst // estimated offset (e^theta)
 				goal := clampX(xt - thetaHat)
 				p := model.PulseForTarget(xEst, goal)
 				if p.Width > 0 {
 					if err := x.ProgramBatch([]CellPulse{{Row: i, Col: j, Pulse: p}}, opts.Program); err != nil {
-						return 0, err
+						return VerifyReport{}, err
 					}
 				}
 				xEst = goal
 				residual = math.Abs(senseLogR(cell) - xt)
+				// Bounded-retry guard: a round must shave at least 1% off
+				// the best residual seen to count as progress.
+				if residual < best*0.99 {
+					best = residual
+					stall = 0
+				} else if opts.Patience >= 0 {
+					stall++
+					if stall >= opts.Patience {
+						verdict = VerdictStuck
+						break
+					}
+				}
 			}
-			if residual > worst {
-				worst = residual
+			if residual <= opts.TolLog {
+				verdict = VerdictConverged
+			}
+			rep.Verdicts[i*targets.Cols+j] = verdict
+			switch verdict {
+			case VerdictConverged:
+				rep.Converged++
+			case VerdictExhausted:
+				rep.Exhausted++
+			default:
+				rep.Stuck++
+			}
+			if residual > rep.Worst {
+				rep.Worst = residual
 			}
 		}
 	}
-	return worst, nil
+	return rep, nil
 }

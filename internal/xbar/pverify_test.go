@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vortex/internal/adc"
+	"vortex/internal/device"
 	"vortex/internal/mat"
 )
 
@@ -14,12 +15,15 @@ func TestProgramVerifyCancelsVariation(t *testing.T) {
 	xb := mustNew(t, cfg, 31)
 	targets := mat.NewMatrix(20, 10)
 	targets.Fill(80e3)
-	worst, err := xb.ProgramVerify(targets, VerifyOptions{})
+	rep, err := xb.ProgramVerify(targets, VerifyOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if worst > 0.05 {
-		t.Fatalf("worst residual %.4f exceeds tolerance after verify", worst)
+	if rep.Worst > 0.05 {
+		t.Fatalf("worst residual %.4f exceeds tolerance after verify", rep.Worst)
+	}
+	if rep.Failed() != 0 || rep.Converged != 20*10 {
+		t.Fatalf("report disagrees with convergence: %+v", rep)
 	}
 	// Every observable resistance must be near the target despite the
 	// heavy parametric variation.
@@ -71,7 +75,7 @@ func TestProgramVerifyLimitedBySensing(t *testing.T) {
 	targets.Fill(100e3)
 
 	fine := mustNew(t, cfg, 33)
-	worstFine, err := fine.ProgramVerify(targets, VerifyOptions{})
+	repFine, err := fine.ProgramVerify(targets, VerifyOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,15 +84,15 @@ func TestProgramVerifyLimitedBySensing(t *testing.T) {
 		t.Fatal(err)
 	}
 	coarse := mustNew(t, cfg, 33)
-	worstCoarse, err := coarse.ProgramVerify(targets, VerifyOptions{
+	repCoarse, err := coarse.ProgramVerify(targets, VerifyOptions{
 		Chain: adc.NewSenseChain(coarseConv, 1, nil),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if worstCoarse <= worstFine {
+	if repCoarse.Worst <= repFine.Worst {
 		t.Fatalf("coarse sensing (%v) should leave a larger residual than ideal (%v)",
-			worstCoarse, worstFine)
+			repCoarse.Worst, repFine.Worst)
 	}
 }
 
@@ -100,12 +104,15 @@ func TestProgramVerifyRangeLimit(t *testing.T) {
 	xb.Cell(0, 0).Theta = -1.5 // observable R is e^-1.5 of driven
 	targets := mat.NewMatrix(1, 1)
 	targets.Fill(900e3) // needs driven ~ 900k*e^1.5 >> Roff
-	worst, err := xb.ProgramVerify(targets, VerifyOptions{})
+	rep, err := xb.ProgramVerify(targets, VerifyOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if worst < 0.5 {
-		t.Fatalf("expected a large honest residual, got %v", worst)
+	if rep.Worst < 0.5 {
+		t.Fatalf("expected a large honest residual, got %v", rep.Worst)
+	}
+	if rep.Failed() != 1 {
+		t.Fatalf("the unreachable cell must be reported as failed: %+v", rep)
 	}
 }
 
@@ -156,5 +163,53 @@ func TestProgramVerifyCostAccounting(t *testing.T) {
 	if open.Stats().Pulses >= st.Pulses {
 		t.Fatalf("open loop (%d pulses) should be cheaper than verify (%d)",
 			open.Stats().Pulses, st.Pulses)
+	}
+}
+
+func TestProgramVerifyGivesUpOnStuckCells(t *testing.T) {
+	cfg := baseConfig(4, 4)
+	cfg.Sigma = 0.3
+	xb := mustNew(t, cfg, 40)
+	xb.Cell(1, 2).Defect = device.DefectStuckLRS
+	xb.Cell(3, 0).Defect = device.DefectOpen
+	targets := mat.NewMatrix(4, 4)
+	targets.Fill(200e3)
+	xb.ResetStats()
+	rep, err := xb.ProgramVerify(targets, VerifyOptions{MaxIter: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stuck != 2 {
+		t.Fatalf("stuck count %d, want 2 (one stuck-at, one open): %+v", rep.Stuck, rep)
+	}
+	if rep.Converged != 14 {
+		t.Fatalf("healthy cells must converge: %+v", rep)
+	}
+	if got := rep.Verdicts[1*4+2]; got != VerdictStuck {
+		t.Fatalf("verdict for stuck-at cell = %v", got)
+	}
+	if got := rep.Verdicts[3*4+0]; got != VerdictStuck {
+		t.Fatalf("verdict for open cell = %v", got)
+	}
+	// The guard must bound the effort spent on hopeless cells: with
+	// MaxIter 20 and default Patience 2, the two dead cells get at most
+	// 3 correction rounds each instead of 20.
+	if p := xb.Stats().Pulses; p > 16*20/2+2*3 {
+		t.Fatalf("dead cells burned the iteration budget: %d pulses", p)
+	}
+}
+
+func TestProgramVerifyPatienceDisabled(t *testing.T) {
+	cfg := baseConfig(1, 1)
+	xb := mustNew(t, cfg, 41)
+	xb.Cell(0, 0).Defect = device.DefectStuckHRS
+	targets := mat.NewMatrix(1, 1)
+	targets.Fill(50e3)
+	rep, err := xb.ProgramVerify(targets, VerifyOptions{MaxIter: 7, Patience: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stuck != 0 || rep.Exhausted != 1 {
+		t.Fatalf("with the guard disabled the cell must exhaust MaxIter: %+v", rep)
 	}
 }

@@ -33,6 +33,8 @@ import (
 	"vortex/internal/core"
 	"vortex/internal/dataset"
 	"vortex/internal/experiment"
+	"vortex/internal/fault"
+	"vortex/internal/mat"
 	"vortex/internal/mlp"
 	"vortex/internal/ncs"
 	"vortex/internal/rng"
@@ -58,6 +60,8 @@ type (
 	TrainResult = train.Result
 	// DigitSet is a labeled image dataset.
 	DigitSet = dataset.Set
+	// Matrix is the dense row-major matrix used for weights throughout.
+	Matrix = mat.Matrix
 	// Scale selects experiment size (Quick/Default/Full).
 	Scale = experiment.Scale
 )
@@ -134,6 +138,42 @@ type (
 // BuildTiled fabricates a tiled array for an inputs x outputs layer.
 func BuildTiled(inputs, outputs int, cfg TileConfig, seed uint64) (*TiledArray, error) {
 	return tile.New(inputs, outputs, cfg, rng.New(seed))
+}
+
+// Fault types re-export the post-deployment fault model and the repair
+// pipeline.
+type (
+	// FaultConfig sets the rates of each post-deployment fault class.
+	FaultConfig = fault.Config
+	// FaultInjector mutates a live NCS with the configured fault mix.
+	FaultInjector = fault.Injector
+	// FaultReport counts the damage done by one injection or wear pass.
+	FaultReport = fault.Report
+	// FaultMap is the per-cell health classification from a scan.
+	FaultMap = fault.Map
+	// FaultScanOptions controls a health scan.
+	FaultScanOptions = fault.ScanOptions
+	// RepairPolicy sets the knobs of the repair pipeline.
+	RepairPolicy = fault.Policy
+	// RepairOutcome reports what a repair pass did.
+	RepairOutcome = fault.Outcome
+)
+
+// NewFaultInjector builds a seeded fault injector.
+func NewFaultInjector(cfg FaultConfig, seed uint64) (*FaultInjector, error) {
+	return fault.NewInjector(cfg, rng.New(seed))
+}
+
+// ScanFaults runs the cheap two-target health scan over both arrays of
+// the NCS, classifying every cell as healthy, suspect or dead.
+func ScanFaults(n *NCS, opts FaultScanOptions) (*FaultMap, error) {
+	return fault.Scan(n, opts)
+}
+
+// RepairNCS runs the detect -> fault-aware remap -> reprogram -> verify
+// repair pipeline on the NCS for the given trained weights.
+func RepairNCS(n *NCS, w *Matrix, pol RepairPolicy) (*RepairOutcome, error) {
+	return fault.Repair(n, w, pol)
 }
 
 // MLP types re-export the two-layer extension.
