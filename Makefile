@@ -17,7 +17,8 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep'
+	$(GO) test -race ./internal/hw/
+	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep|TestRegistry|TestRunners'
 	$(GO) test -race ./internal/fault/
 
 # Regenerates every paper table/figure plus the extension studies at
@@ -25,6 +26,7 @@ race:
 bench:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem -benchtime=1x -timeout 7200s . 2>&1 | tee bench_output.txt
+	$(GO) test -bench=BenchmarkBackend -benchmem ./internal/hw/ 2>&1 | tee -a bench_output.txt
 
 # Short fuzz sessions over the quantizer and the device dynamics.
 fuzz:

@@ -11,6 +11,8 @@ package vortex
 // benchmark; EXPERIMENTS.md records the paper-vs-measured comparison.
 
 import (
+	"context"
+
 	"testing"
 
 	"vortex/internal/experiment"
@@ -24,7 +26,7 @@ func logResult(b *testing.B, name, table string) {
 // OLD vs CLD on a 100-memristor column across sigma, Monte-Carlo.
 func BenchmarkFig2ColumnTraining(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Fig2(experiment.Default, 42)
+		res, err := experiment.Fig2(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -36,7 +38,7 @@ func BenchmarkFig2ColumnTraining(b *testing.B) {
 // D-matrix skew of the IR-drop decomposition versus crossbar size.
 func BenchmarkFig3IRDrop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Fig3(experiment.Default, 42)
+		res, err := experiment.Fig3(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,7 +51,7 @@ func BenchmarkFig3IRDrop(b *testing.B) {
 // rates with/without variation versus the VAT penalty scale gamma.
 func BenchmarkFig4GammaTradeoff(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Fig4(experiment.Default, 42)
+		res, err := experiment.Fig4(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -61,7 +63,7 @@ func BenchmarkFig4GammaTradeoff(b *testing.B) {
 // adaptive mapping across gamma.
 func BenchmarkFig7AMP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Fig7(experiment.Default, 42)
+		res, err := experiment.Fig7(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -75,7 +77,7 @@ func BenchmarkFig7AMP(b *testing.B) {
 // resolution at several sigma levels.
 func BenchmarkFig8ADCResolution(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Fig8(experiment.Default, 42)
+		res, err := experiment.Fig8(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -87,7 +89,7 @@ func BenchmarkFig8ADCResolution(b *testing.B) {
 // rows with OLD/CLD baselines, including the headline average gains.
 func BenchmarkFig9Redundancy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Fig9(experiment.Default, 42)
+		res, err := experiment.Fig9(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +103,7 @@ func BenchmarkFig9Redundancy(b *testing.B) {
 // without IR-drop at 784/196/49 rows.
 func BenchmarkTable1Sizes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Table1(experiment.Default, 42)
+		res, err := experiment.Table1(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -115,7 +117,7 @@ func BenchmarkTable1Sizes(b *testing.B) {
 // program-and-verify alternative of paper ref [7]) across sigma.
 func BenchmarkExtSchemes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Schemes(experiment.Default, 42)
+		res, err := experiment.Schemes(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -127,7 +129,7 @@ func BenchmarkExtSchemes(b *testing.B) {
 // AMP (paper Sec. 4.2.2's defective-cell discussion, quantified).
 func BenchmarkExtDefects(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Defects(experiment.Default, 42)
+		res, err := experiment.Defects(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,7 +141,7 @@ func BenchmarkExtDefects(b *testing.B) {
 // scheme next to its test rate (the paper's Sec. 1 overhead narrative).
 func BenchmarkExtCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Cost(experiment.Default, 42)
+		res, err := experiment.Cost(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +153,7 @@ func BenchmarkExtCost(b *testing.B) {
 // random, greedy (Algorithm 1) and the exact Hungarian optimum.
 func BenchmarkAblationMappers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Mappers(experiment.Default, 42)
+		res, err := experiment.Mappers(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,7 +166,7 @@ func BenchmarkAblationMappers(b *testing.B) {
 // compensation that Table 1 motivates.
 func BenchmarkExtTiling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Tiling(experiment.Default, 42)
+		res, err := experiment.Tiling(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +178,7 @@ func BenchmarkExtTiling(b *testing.B) {
 // two-layer crossbar network, plain vs noise-injection trained.
 func BenchmarkExtMLP(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.MLP(experiment.Default, 42)
+		res, err := experiment.MLP(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +191,7 @@ func BenchmarkExtMLP(b *testing.B) {
 // write-side dual of Fig. 8's read-ADC analysis).
 func BenchmarkExtPrecision(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Precision(experiment.Default, 42)
+		res, err := experiment.Precision(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +203,7 @@ func BenchmarkExtPrecision(b *testing.B) {
 // verify-reprogrammed on a logarithmic schedule, with the refresh cost.
 func BenchmarkExtRefresh(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Refresh(experiment.Default, 42)
+		res, err := experiment.Refresh(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,7 +216,7 @@ func BenchmarkExtRefresh(b *testing.B) {
 // contrasts plain with drift-aware training margins.
 func BenchmarkExtRetention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.Retention(experiment.Default, 42)
+		res, err := experiment.Retention(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,7 +228,7 @@ func BenchmarkExtRetention(b *testing.B) {
 // contrasts OLD, Vortex and Vortex plus the repair pipeline.
 func BenchmarkExtFaults(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiment.FaultSweep(experiment.Default, 42)
+		res, err := experiment.FaultSweep(context.Background(), experiment.Default, 42)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,312 +1,106 @@
 // Command vortexsim runs the paper's experiments by id and prints the
-// regenerated rows/series in the paper's shape.
+// regenerated rows/series in the paper's shape. The set of experiments
+// comes entirely from the experiment registry — adding a driver there
+// makes it appear here with no CLI changes.
 //
 // Usage:
 //
 //	vortexsim -list
-//	vortexsim -exp fig2 [-scale quick|default|full] [-seed N]
+//	vortexsim -exp fig2 [-scale quick|default|full] [-seed N] [-timeout D]
 //	vortexsim -exp all -scale default
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"os/signal"
 	"strings"
 	"time"
 
 	"vortex/internal/experiment"
 )
 
-type runner struct {
-	describe string
-	run      func(experiment.Scale, uint64) (string, error)
-}
-
-// tabular is any experiment result that can render itself both ways.
-type tabular interface {
-	Table() string
-	CSV() string
-}
-
-// asCSV is set by the -csv flag; render picks the output form and, in
-// CSV mode, drops the human annotations.
-var asCSV bool
-
-func render(r tabular, annotation string) string {
-	if asCSV {
-		return r.CSV()
-	}
-	return r.Table() + annotation
-}
-
-var experiments = map[string]runner{
-	"fig2": {
-		describe: "Fig. 2 — CLD vs OLD output discrepancy on a 100-memristor column vs sigma",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Fig2(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("(%d Monte-Carlo runs per point)\n", r.Runs)), nil
-		},
-	},
-	"fig3": {
-		describe: "Fig. 3 — IR-drop decomposition: beta and D-matrix skew vs crossbar size",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Fig3(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("skew > 2 crossover at %d rows (paper: ~128)\n", r.Crossover)), nil
-		},
-	},
-	"fig4": {
-		describe: "Fig. 4 — variation tolerance vs training rate across gamma",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Fig4(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("peak test rate %.1f%% at gamma=%.2f (sigma=%.1f)\n",
-				100*r.BestTestRate, r.BestGamma, r.Sigma)), nil
-		},
-	},
-	"fig5": {
-		describe: "Fig. 5 — self-tuning scan (the flow chart realized; prints the selected gamma)",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			gamma, curve, err := experiment.Fig4SelfTuned(s, seed)
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			fmt.Fprintf(&b, "self-tuning selected gamma = %.2f\n", gamma)
-			for _, pt := range curve {
-				mark := ""
-				if pt.SelectedByScan {
-					mark = "  <- selected"
-				}
-				fmt.Fprintf(&b, "  gamma %.2f: train %.1f%%, val(clean) %.1f%%, val(varied) %.1f%%%s\n",
-					pt.Gamma, 100*pt.TrainRate, 100*pt.CleanValRate, 100*pt.VariedValRate, mark)
-			}
-			return b.String(), nil
-		},
-	},
-	"fig7": {
-		describe: "Fig. 7 — effectiveness of AMP across gamma",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Fig7(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("best gamma before AMP %.2f, after AMP %.2f (paper: 0.4 -> 0.2)\n",
-				r.BestGammaBefore, r.BestGammaAfter)), nil
-		},
-	},
-	"fig8": {
-		describe: "Fig. 8 — ADC resolution vs test rate",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Fig8(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, ""), nil
-		},
-	},
-	"fig9": {
-		describe: "Fig. 9 — design redundancy vs test rate, with OLD/CLD baselines",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Fig9(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("avg gain of Vortex(p=0): +%.1f points over OLD, +%.1f over CLD (paper: +29.6 / +26.4)\n",
-				100*r.AvgGainOverOLD, 100*r.AvgGainOverCLD)), nil
-		},
-	},
-	"schemes": {
-		describe: "Extension — OLD vs PV vs CLD vs Vortex test rate across sigma",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Schemes(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, ""), nil
-		},
-	},
-	"defects": {
-		describe: "Extension — defect tolerance: test rate vs stuck-at rate, with/without AMP",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Defects(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("(sigma=%.1f, %d redundant rows)\n", r.Sigma, r.Redundancy)), nil
-		},
-	},
-	"faults": {
-		describe: "Extension — post-deployment faults: OLD / Vortex / Vortex+repair vs stuck-cell rate",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.FaultSweep(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("(sigma=%.1f, %d redundant rows, %d Monte-Carlo runs)\n",
-				r.Sigma, r.Redundancy, r.MCRuns)), nil
-		},
-	},
-	"cost": {
-		describe: "Extension — hardware programming cost of each training scheme",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Cost(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, ""), nil
-		},
-	},
-	"mappers": {
-		describe: "Ablation — identity vs random vs greedy vs Hungarian AMP mapping",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Mappers(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("(sigma=%.1f)\n", r.Sigma)), nil
-		},
-	},
-	"tiling": {
-		describe: "Extension — crossbar tiling: tile height vs test rate under IR-drop",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Tiling(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("(sigma=%.1f, r_wire=%.1f ohm, %d inputs)\n",
-				r.Sigma, r.RWire, r.Inputs)), nil
-		},
-	},
-	"mlp": {
-		describe: "Extension — two-layer (MLP) crossbar network: plain vs noise-injected training",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.MLP(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("(hidden %d; clean software: linear %.1f%%, MLP %.1f%%)\n",
-				r.Hidden, 100*r.CleanLinear, 100*r.CleanMLP)), nil
-		},
-	},
-	"precision": {
-		describe: "Extension — write precision: test rate vs programming-DAC levels",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Precision(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("(variation column at sigma=%.1f)\n", r.Sigma)), nil
-		},
-	},
-	"refresh": {
-		describe: "Extension — periodic verify-refresh vs retention drift, with pulse cost",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Refresh(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("(%d refreshes over the horizon, %d pulses)\n",
-				r.Refreshes, r.PulseCost)), nil
-		},
-	},
-	"retention": {
-		describe: "Extension — retention drift: test rate vs age, plain vs drift-aware training",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Retention(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("(sigma=%.1f, drift nu=%.2f+/-%.2f, horizon %.0e s)\n",
-				r.Sigma, r.Drift.NuMean, r.Drift.NuSigma, r.Horizon)), nil
-		},
-	},
-	"table1": {
-		describe: "Table 1 — Vortex vs CLD at 784/196/49 rows, with and without IR-drop",
-		run: func(s experiment.Scale, seed uint64) (string, error) {
-			r, err := experiment.Table1(s, seed)
-			if err != nil {
-				return "", err
-			}
-			return render(r, fmt.Sprintf("(r_wire=%.1f ohm, sigma=%.1f, redundancy=%d at 784 rows)\n",
-				r.RWire, r.Sigma, r.Redundancy)), nil
-		},
-	},
-}
-
-func parseScale(s string) (experiment.Scale, error) {
-	switch s {
-	case "quick":
-		return experiment.Quick, nil
-	case "default", "":
-		return experiment.Default, nil
-	case "full":
-		return experiment.Full, nil
-	default:
-		return 0, fmt.Errorf("unknown scale %q (want quick, default or full)", s)
-	}
-}
-
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		exp   = flag.String("exp", "", "experiment id (fig2..fig9, table1, extensions: schemes/cost/defects/faults/mappers/precision/retention/refresh/tiling/mlp, or all)")
-		scale = flag.String("scale", "default", "experiment scale: quick, default or full")
-		seed  = flag.Uint64("seed", 42, "random seed")
-		list  = flag.Bool("list", false, "list available experiments")
-		csv   = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+		exp     = flag.String("exp", "", "experiment id (see -list), or all")
+		scale   = flag.String("scale", "default", "experiment scale: quick, default or full")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		list    = flag.Bool("list", false, "list available experiments")
+		csv     = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	)
 	flag.Parse()
-	asCSV = *csv
 
-	names := make([]string, 0, len(experiments))
-	for name := range experiments {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	runners := experiment.Runners()
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
-		for _, name := range names {
-			fmt.Printf("  %-7s %s\n", name, experiments[name].describe)
+		for _, r := range runners {
+			fmt.Printf("  %-9s %s\n", r.Name, r.Description)
 		}
-		fmt.Println("  all     run everything")
-		return
+		fmt.Println("  all       run everything")
+		return 0
 	}
-	sc, err := parseScale(*scale)
+	sc, err := experiment.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
-	var toRun []string
+	var toRun []experiment.Runner
 	if *exp == "all" {
-		toRun = names
+		toRun = runners
 	} else {
-		if _, ok := experiments[*exp]; !ok {
+		r, ok := experiment.Lookup(*exp)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
-			os.Exit(2)
+			if close := experiment.Closest(*exp, 3); len(close) > 0 {
+				fmt.Fprintf(os.Stderr, "did you mean: %s\n", strings.Join(close, ", "))
+			}
+			return 2
 		}
-		toRun = []string{*exp}
+		toRun = []experiment.Runner{r}
 	}
-	for _, name := range toRun {
-		r := experiments[name]
-		fmt.Printf("== %s (scale=%s, seed=%d)\n", r.describe, sc, *seed)
+
+	// Ctrl-C (or the -timeout deadline) cancels the context; drivers
+	// thread it through their Monte-Carlo fan-out, so a running sweep
+	// aborts cleanly instead of finishing the remaining repetitions.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Once the first interrupt (or the deadline) has canceled the
+	// context, restore the default signal disposition so a second
+	// Ctrl-C kills the process immediately instead of being swallowed
+	// while a long in-flight step drains.
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	for _, r := range toRun {
+		fmt.Printf("== %s (scale=%s, seed=%d)\n", r.Description, sc, *seed)
 		start := time.Now()
-		out, err := r.run(sc, *seed)
+		res, err := r.Run(ctx, sc, *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.Name, err)
+			return 1
 		}
-		fmt.Print(out)
-		fmt.Printf("[%s in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		if *csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Print(res.Table() + res.Annotation())
+		}
+		fmt.Printf("[%s in %v]\n\n", r.Name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -14,6 +14,7 @@ import (
 
 	"vortex/internal/adc"
 	"vortex/internal/dataset"
+	"vortex/internal/hw"
 	"vortex/internal/mapping"
 	"vortex/internal/mat"
 	"vortex/internal/ncs"
@@ -21,7 +22,6 @@ import (
 	"vortex/internal/rng"
 	"vortex/internal/stats"
 	"vortex/internal/train"
-	"vortex/internal/xbar"
 )
 
 // VortexConfig controls the integrated pipeline. Zero values select the
@@ -226,7 +226,7 @@ func TrainVortex(n *ncs.NCS, set *dataset.Set, cfg VortexConfig, src *rng.Source
 		res.RowMap = rowMap
 		res.SigmaEffective = mapping.EffectiveSigma(w, fpos, fneg, rowMap)
 	}
-	if err := n.ProgramWeights(w, xbar.ProgramOptions{CompensateIR: true}); err != nil {
+	if err := n.ProgramWeights(w, hw.ProgramOptions{CompensateIR: true}); err != nil {
 		return nil, err
 	}
 	res.Weights = w

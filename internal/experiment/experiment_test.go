@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -13,7 +15,7 @@ func TestScaleString(t *testing.T) {
 }
 
 func TestFig2Shape(t *testing.T) {
-	res, err := Fig2(Quick, 1)
+	res, err := Fig2(context.Background(), Quick, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +46,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	res, err := Fig3(Quick, 0)
+	res, err := Fig3(context.Background(), Quick, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestFig4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Fig4(Quick, 3)
+	res, err := Fig4(context.Background(), Quick, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +121,7 @@ func TestFig7Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Fig7(Quick, 5)
+	res, err := Fig7(context.Background(), Quick, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestFig8Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Fig8(Quick, 7)
+	res, err := Fig8(context.Background(), Quick, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +187,7 @@ func TestFig9Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Fig9(Quick, 9)
+	res, err := Fig9(context.Background(), Quick, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +217,7 @@ func TestTable1Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Table1(Quick, 11)
+	res, err := Table1(context.Background(), Quick, 11)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,15 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+
 	"vortex/internal/core"
+	"vortex/internal/hw"
 	"vortex/internal/mapping"
 	"vortex/internal/ncs"
 	"vortex/internal/rng"
 	"vortex/internal/train"
-	"vortex/internal/xbar"
 )
 
 // The experiments in this file go beyond the paper's figures: they cover
@@ -43,9 +46,22 @@ func (r *SchemesResult) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *SchemesResult) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *SchemesResult) Annotation() string { return "" }
+
+func init() {
+	register(Runner{
+		Name:        "schemes",
+		Description: "Extension — OLD vs PV vs CLD vs Vortex test rate across sigma",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Schemes(ctx, s, seed)
+		},
+	})
+}
+
 // Schemes sweeps sigma and reports the test rate of all four training
 // schemes (no wire parasitics; this isolates device variation).
-func Schemes(scale Scale, seed uint64) (*SchemesResult, error) {
+func Schemes(ctx context.Context, scale Scale, seed uint64) (*SchemesResult, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
@@ -57,12 +73,15 @@ func Schemes(scale Scale, seed uint64) (*SchemesResult, error) {
 	}
 	res := &SchemesResult{Sigmas: sigmas}
 	for si, sigma := range sigmas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var old, pv, cld, vortex float64
 		for mc := 0; mc < p.mcRuns; mc++ {
 			base := seed + uint64(1000*si+97*mc)
 			runSeed := rng.New(base + 11)
 
-			n1, err := buildNCS(trainSet.Features(), 0, sigma, 0, 6, base)
+			n1, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), 0, sigma, 0, 6, base)
 			if err != nil {
 				return nil, err
 			}
@@ -75,7 +94,7 @@ func Schemes(scale Scale, seed uint64) (*SchemesResult, error) {
 			}
 			old += r1
 
-			n2, err := buildNCS(trainSet.Features(), 0, sigma, 0, 6, base)
+			n2, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), 0, sigma, 0, 6, base)
 			if err != nil {
 				return nil, err
 			}
@@ -88,7 +107,7 @@ func Schemes(scale Scale, seed uint64) (*SchemesResult, error) {
 			}
 			pv += r2
 
-			n3, err := buildNCS(trainSet.Features(), 0, sigma, 0, 6, base)
+			n3, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), 0, sigma, 0, 6, base)
 			if err != nil {
 				return nil, err
 			}
@@ -101,7 +120,7 @@ func Schemes(scale Scale, seed uint64) (*SchemesResult, error) {
 			}
 			cld += r3
 
-			n4, err := buildNCS(trainSet.Features(), 0, sigma, 0, 6, base)
+			n4, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), 0, sigma, 0, 6, base)
 			if err != nil {
 				return nil, err
 			}
@@ -153,9 +172,24 @@ func (r *DefectsResult) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *DefectsResult) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *DefectsResult) Annotation() string {
+	return fmt.Sprintf("(sigma=%.1f, %d redundant rows)\n", r.Sigma, r.Redundancy)
+}
+
+func init() {
+	register(Runner{
+		Name:        "defects",
+		Description: "Extension — defect tolerance: test rate vs stuck-at rate, with/without AMP",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Defects(ctx, s, seed)
+		},
+	})
+}
+
 // Defects sweeps the stuck-at defect rate and shows AMP steering weights
 // away from dead cells using the redundant rows.
-func Defects(scale Scale, seed uint64) (*DefectsResult, error) {
+func Defects(ctx context.Context, scale Scale, seed uint64) (*DefectsResult, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
@@ -170,11 +204,15 @@ func Defects(scale Scale, seed uint64) (*DefectsResult, error) {
 	res := &DefectsResult{Rates: rates, Sigma: sigma, Redundancy: redundancy}
 
 	for ri, defectRate := range rates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var withAMP, withoutAMP float64
 		for mc := 0; mc < p.mcRuns; mc++ {
 			base := seed + uint64(500*ri+31*mc)
 			for _, useAMP := range []bool{true, false} {
 				cfg := ncs.DefaultConfig(trainSet.Features(), 10)
+				cfg.Backend = fastBackend(scale, 0)
 				cfg.Sigma = sigma
 				cfg.DefectRate = defectRate
 				cfg.Redundancy = redundancy
@@ -236,13 +274,29 @@ func (r *CostResult) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *CostResult) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *CostResult) Annotation() string { return "" }
+
+func init() {
+	register(Runner{
+		Name:        "cost",
+		Description: "Extension — hardware programming cost of each training scheme",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Cost(ctx, s, seed)
+		},
+	})
+}
+
 // Cost trains the same fabricated hardware with OLD, PV, CLD and Vortex
 // and reports each scheme's accumulated programming cost next to its test
 // rate — quantifying the paper's overhead narrative.
-func Cost(scale Scale, seed uint64) (*CostResult, error) {
+func Cost(ctx context.Context, scale Scale, seed uint64) (*CostResult, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	const sigma = 0.6
@@ -262,7 +316,7 @@ func Cost(scale Scale, seed uint64) (*CostResult, error) {
 		return nil
 	}
 
-	n1, err := buildNCS(trainSet.Features(), 0, sigma, 0, 6, seed)
+	n1, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), 0, sigma, 0, 6, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +327,7 @@ func Cost(scale Scale, seed uint64) (*CostResult, error) {
 		return nil, err
 	}
 
-	n2, err := buildNCS(trainSet.Features(), 0, sigma, 0, 6, seed)
+	n2, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), 0, sigma, 0, 6, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -284,7 +338,7 @@ func Cost(scale Scale, seed uint64) (*CostResult, error) {
 		return nil, err
 	}
 
-	n3, err := buildNCS(trainSet.Features(), 0, sigma, 0, 6, seed)
+	n3, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), 0, sigma, 0, 6, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +349,7 @@ func Cost(scale Scale, seed uint64) (*CostResult, error) {
 		return nil, err
 	}
 
-	n4, err := buildNCS(trainSet.Features(), 0, sigma, 0, 6, seed)
+	n4, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), 0, sigma, 0, 6, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -335,12 +389,30 @@ func (r *MappersResult) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *MappersResult) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *MappersResult) Annotation() string {
+	return fmt.Sprintf("(sigma=%.1f)\n", r.Sigma)
+}
+
+func init() {
+	register(Runner{
+		Name:        "mappers",
+		Description: "Ablation — identity vs random vs greedy vs Hungarian AMP mapping",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Mappers(ctx, s, seed)
+		},
+	})
+}
+
 // Mappers trains VAT weights once, then programs the same hardware under
 // four different row-mapping strategies and evaluates each.
-func Mappers(scale Scale, seed uint64) (*MappersResult, error) {
+func Mappers(ctx context.Context, scale Scale, seed uint64) (*MappersResult, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	const sigma = 0.8
@@ -350,6 +422,7 @@ func Mappers(scale Scale, seed uint64) (*MappersResult, error) {
 		return nil, err
 	}
 	cfg := ncs.DefaultConfig(trainSet.Features(), 10)
+	cfg.Backend = fastBackend(scale, 0)
 	cfg.Sigma = sigma
 	cfg.Redundancy = redundancy
 	n, err := ncs.New(cfg, rng.New(seed+5))
@@ -393,7 +466,7 @@ func Mappers(scale Scale, seed uint64) (*MappersResult, error) {
 		if err := n.SetRowMap(tc.m); err != nil {
 			return nil, err
 		}
-		if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+		if err := n.ProgramWeights(w, hw.ProgramOptions{}); err != nil {
 			return nil, err
 		}
 		rate, err := n.Evaluate(testSet)

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -9,7 +11,7 @@ func TestSchemesShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Schemes(Quick, 21)
+	res, err := Schemes(context.Background(), Quick, 21)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func TestDefectsShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Defects(Quick, 23)
+	res, err := Defects(context.Background(), Quick, 23)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +65,7 @@ func TestCostShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Cost(Quick, 25)
+	res, err := Cost(context.Background(), Quick, 25)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestMappersShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Mappers(Quick, 27)
+	res, err := Mappers(context.Background(), Quick, 27)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,15 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+
 	"vortex/internal/core"
 	"vortex/internal/fault"
+	"vortex/internal/hw"
 	"vortex/internal/ncs"
 	"vortex/internal/rng"
 	"vortex/internal/train"
-	"vortex/internal/xbar"
 )
 
 // FaultSweepResult reports post-deployment fault tolerance: test rate
@@ -42,6 +45,22 @@ func (r *FaultSweepResult) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *FaultSweepResult) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *FaultSweepResult) Annotation() string {
+	return fmt.Sprintf("(sigma=%.1f, %d redundant rows, %d Monte-Carlo runs)\n",
+		r.Sigma, r.Redundancy, r.MCRuns)
+}
+
+func init() {
+	register(Runner{
+		Name:        "faults",
+		Description: "Extension — post-deployment faults: OLD / Vortex / Vortex+repair vs stuck-cell rate",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return FaultSweep(ctx, s, seed)
+		},
+	})
+}
+
 // faultTrial is one Monte-Carlo point of the sweep.
 type faultTrial struct {
 	old, vortex, repaired float64
@@ -57,7 +76,7 @@ type faultTrial struct {
 // runs fault.Repair with the trained weights before its evaluation.
 // Trials run concurrently via parallelMap and are deterministic in
 // (scale, seed).
-func FaultSweep(scale Scale, seed uint64) (*FaultSweepResult, error) {
+func FaultSweep(ctx context.Context, scale Scale, seed uint64) (*FaultSweepResult, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
@@ -71,7 +90,7 @@ func FaultSweep(scale Scale, seed uint64) (*FaultSweepResult, error) {
 	redundancy := trainSet.Features() / 8
 	res := &FaultSweepResult{Sigma: sigma, Redundancy: redundancy, MCRuns: p.mcRuns}
 
-	trials, err := parallelMap(len(rates)*p.mcRuns, func(i int) (faultTrial, error) {
+	trials, err := parallelMap(ctx, len(rates)*p.mcRuns, func(i int) (faultTrial, error) {
 		ri, mc := i/p.mcRuns, i%p.mcRuns
 		rate := rates[ri]
 		base := seed + uint64(2000*ri+131*mc)
@@ -87,7 +106,7 @@ func FaultSweep(scale Scale, seed uint64) (*FaultSweepResult, error) {
 		var t faultTrial
 
 		// OLD baseline.
-		n1, err := buildNCS(trainSet.Features(), redundancy, sigma, 0, 6, base)
+		n1, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), redundancy, sigma, 0, 6, base)
 		if err != nil {
 			return t, err
 		}
@@ -102,7 +121,7 @@ func FaultSweep(scale Scale, seed uint64) (*FaultSweepResult, error) {
 		}
 
 		// Vortex, struck and left alone.
-		n2, err := buildNCS(trainSet.Features(), redundancy, sigma, 0, 6, base)
+		n2, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), redundancy, sigma, 0, 6, base)
 		if err != nil {
 			return t, err
 		}
@@ -126,21 +145,21 @@ func FaultSweep(scale Scale, seed uint64) (*FaultSweepResult, error) {
 		// The repair arm: identical fabrication, the trained weights and
 		// mapping replayed (so no second training run), the identical
 		// fault pattern, then the repair pipeline.
-		n3, err := buildNCS(trainSet.Features(), redundancy, sigma, 0, 6, base)
+		n3, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), redundancy, sigma, 0, 6, base)
 		if err != nil {
 			return t, err
 		}
 		if err := n3.SetRowMap(vres.RowMap); err != nil {
 			return t, err
 		}
-		if err := n3.ProgramWeights(vres.Weights, xbar.ProgramOptions{}); err != nil {
+		if err := n3.ProgramWeights(vres.Weights, hw.ProgramOptions{}); err != nil {
 			return t, err
 		}
 		if err := strike(n3); err != nil {
 			return t, err
 		}
 		out, err := fault.Repair(n3, vres.Weights, fault.Policy{
-			Verify: xbar.VerifyOptions{TolLog: 0.02, MaxIter: 5},
+			Verify: hw.VerifyOptions{TolLog: 0.02, MaxIter: 5},
 		})
 		if err != nil {
 			return t, err

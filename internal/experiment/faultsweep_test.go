@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"reflect"
 	"strings"
 	"testing"
@@ -10,7 +12,7 @@ func TestFaultSweepRepairRecovers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training-based integration test")
 	}
-	res, err := FaultSweep(Quick, 42)
+	res, err := FaultSweep(context.Background(), Quick, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +49,11 @@ func TestFaultSweepDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training-based integration test")
 	}
-	a, err := FaultSweep(Quick, 7)
+	a, err := FaultSweep(context.Background(), Quick, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := FaultSweep(Quick, 7)
+	b, err := FaultSweep(context.Background(), Quick, 7)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,14 +1,16 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"vortex/internal/adc"
 	"vortex/internal/device"
+	"vortex/internal/hw"
 	"vortex/internal/mat"
 	"vortex/internal/rng"
 	"vortex/internal/stats"
-	"vortex/internal/xbar"
 )
 
 // Fig2Result holds the Monte-Carlo output-discrepancy series of paper
@@ -42,6 +44,21 @@ func (r *Fig2Result) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *Fig2Result) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *Fig2Result) Annotation() string {
+	return fmt.Sprintf("(%d Monte-Carlo runs per point)\n", r.Runs)
+}
+
+func init() {
+	register(Runner{
+		Name:        "fig2",
+		Description: "Fig. 2 — CLD vs OLD output discrepancy on a 100-memristor column vs sigma",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Fig2(ctx, s, seed)
+		},
+	})
+}
+
 const (
 	fig2Cells   = 100
 	fig2Target  = 1e-3  // 1 mA
@@ -52,7 +69,7 @@ const (
 // Fig2 runs the column-training Monte-Carlo of paper Sec. 3.1 / Fig. 2.
 // The per-sigma runs execute concurrently; each run seeds its own rng
 // from (seed, sigma index, run index), so the result is deterministic.
-func Fig2(scale Scale, seed uint64) (*Fig2Result, error) {
+func Fig2(ctx context.Context, scale Scale, seed uint64) (*Fig2Result, error) {
 	runs := map[Scale]int{Quick: 40, Default: 250, Full: 1000}[scale]
 	sigmas := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
 	res := &Fig2Result{Sigmas: sigmas, Runs: runs}
@@ -67,38 +84,43 @@ func Fig2(scale Scale, seed uint64) (*Fig2Result, error) {
 	for si, sigma := range sigmas {
 		sigma := sigma
 		si := si
-		results, err := parallelMap(runs, func(run int) (runErrs, error) {
+		results, err := parallelMap(ctx, runs, func(run int) (runErrs, error) {
 			src := rng.New(seed ^ uint64(si)<<40 ^ uint64(run)*0x9e3779b97f4a7c15)
 			// The sense chain holds no state, but give each worker its
 			// own to keep the data-race detector quiet about the shared
 			// converter pointer.
 			chain := adc.NewSenseChain(conv, 1, nil)
-			cfg := xbar.Config{
+			cfg := hw.Config{
 				Rows:  fig2Cells,
 				Cols:  1,
 				Model: device.DefaultSwitchModel(),
 				Sigma: sigma,
 			}
-			xb, err := xbar.New(cfg, src)
+			xb, err := hw.New(fastBackend(scale, 0), cfg, src)
 			if err != nil {
 				return runErrs{}, err
 			}
 			// OLD: one open-loop pass to the pre-calculated target.
 			targets := mat.NewMatrix(fig2Cells, 1)
 			targets.Fill(fig2RTarget)
-			if err := xb.ProgramTargets(targets, xbar.ProgramOptions{}); err != nil {
+			if err := xb.ProgramTargets(targets, hw.ProgramOptions{}); err != nil {
 				return runErrs{}, err
 			}
-			i := xb.ReadIdeal(vin)[0]
+			i, err := readColumn(xb, vin)
+			if err != nil {
+				return runErrs{}, err
+			}
 			oldErr := math.Abs(i-fig2Target) / fig2Target
 
 			// CLD: reuse the same fabricated column, reset, and train with
 			// output feedback through the 6-bit ADC.
 			xb.ResetAll()
-			if err := cldColumn(xb, chain, vin); err != nil {
+			if err := cldColumn(xb, cfg.Model, chain, vin); err != nil {
 				return runErrs{}, err
 			}
-			i = xb.ReadIdeal(vin)[0]
+			if i, err = readColumn(xb, vin); err != nil {
+				return runErrs{}, err
+			}
 			return runErrs{old: oldErr, cld: math.Abs(i-fig2Target) / fig2Target}, nil
 		})
 		if err != nil {
@@ -120,24 +142,36 @@ func Fig2(scale Scale, seed uint64) (*Fig2Result, error) {
 	return res, nil
 }
 
+// readColumn reads the single column current of a one-column array.
+func readColumn(xb hw.Array, vin []float64) (float64, error) {
+	out, err := xb.Read(vin)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
 // cldColumn trains one column close-loop: sense the summed current
 // through the ADC, spread the conductance correction uniformly over the
 // cells, program with pre-calculated pulses, iterate.
-func cldColumn(xb *xbar.Crossbar, chain *adc.SenseChain, vin []float64) error {
-	model := xb.Config().Model
+func cldColumn(xb hw.Array, model device.SwitchModel, chain *adc.SenseChain, vin []float64) error {
 	cells := xb.Rows()
 	// Controller belief of each cell's conductance (dead reckoning from
 	// the known HRS reset state).
 	belief := mat.Constant(cells, 1/model.Roff)
 	lsb := fig2Target / 32 // effective resolution floor of the 6-bit chain
 	for iter := 0; iter < 80; iter++ {
-		sensed := chain.Sense(xb.ReadIdeal(vin)[0])
+		raw, err := readColumn(xb, vin)
+		if err != nil {
+			return err
+		}
+		sensed := chain.Sense(raw)
 		e := fig2Target - sensed
 		if math.Abs(e) < lsb/2 {
 			return nil
 		}
 		dg := e / (fig2Vin * float64(cells))
-		pulses := make([]xbar.CellPulse, 0, cells)
+		pulses := make([]hw.CellPulse, 0, cells)
 		for c := 0; c < cells; c++ {
 			cur := belief[c]
 			next := cur + dg
@@ -152,13 +186,13 @@ func cldColumn(xb *xbar.Crossbar, chain *adc.SenseChain, vin []float64) error {
 			p := model.PulseForTarget(-math.Log(cur), -math.Log(next))
 			belief[c] = next
 			if p.Width > 0 {
-				pulses = append(pulses, xbar.CellPulse{Row: c, Col: 0, Pulse: p})
+				pulses = append(pulses, hw.CellPulse{Row: c, Col: 0, Pulse: p})
 			}
 		}
 		if len(pulses) == 0 {
 			return nil
 		}
-		if err := xb.ProgramBatch(pulses, xbar.ProgramOptions{}); err != nil {
+		if err := xb.ProgramBatch(pulses, hw.ProgramOptions{}); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+
 	"vortex/internal/device"
 	"vortex/internal/irdrop"
 	"vortex/internal/mat"
@@ -36,10 +39,25 @@ func (r *Fig3Result) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *Fig3Result) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *Fig3Result) Annotation() string {
+	return fmt.Sprintf("skew > 2 crossover at %d rows (paper: ~128)\n", r.Crossover)
+}
+
+func init() {
+	register(Runner{
+		Name:        "fig3",
+		Description: "Fig. 3 — IR-drop decomposition: beta and D-matrix skew vs crossbar size",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Fig3(ctx, s, seed)
+		},
+	})
+}
+
 // Fig3 sweeps the crossbar size and extracts beta and the D-matrix skew
 // in the worst case (all memristors at LRS), as in the paper's analysis.
 // The scale only selects how many sizes are swept.
-func Fig3(scale Scale, _ uint64) (*Fig3Result, error) {
+func Fig3(ctx context.Context, scale Scale, _ uint64) (*Fig3Result, error) {
 	var sizes []int
 	switch scale {
 	case Quick:
@@ -52,6 +70,9 @@ func Fig3(scale Scale, _ uint64) (*Fig3Result, error) {
 	model := device.DefaultSwitchModel()
 	res := &Fig3Result{RowsList: sizes, RWire: 2.5}
 	for _, m := range sizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g := mat.NewMatrix(m, 10)
 		g.Fill(1 / model.Ron)
 		nw := irdrop.NewNetwork(g, res.RWire)

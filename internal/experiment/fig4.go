@@ -1,12 +1,15 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+
 	"vortex/internal/dataset"
+	"vortex/internal/hw"
 	"vortex/internal/opt"
 	"vortex/internal/rng"
 	"vortex/internal/stats"
 	"vortex/internal/train"
-	"vortex/internal/xbar"
 )
 
 // Fig4Result holds the variation-tolerance/training-rate tradeoff curves
@@ -44,11 +47,27 @@ func (r *Fig4Result) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *Fig4Result) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *Fig4Result) Annotation() string {
+	return fmt.Sprintf("peak test rate %.1f%% at gamma=%.2f (sigma=%.1f)\n",
+		100*r.BestTestRate, r.BestGamma, r.Sigma)
+}
+
+func init() {
+	register(Runner{
+		Name:        "fig4",
+		Description: "Fig. 4 — variation tolerance vs training rate across gamma",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Fig4(ctx, s, seed)
+		},
+	})
+}
+
 // Fig4 sweeps gamma at a fixed fabrication sigma (0.6, the paper's later
 // default) and measures the tradeoff of Sec. 4.1.2. Test-with-variation
 // is measured on freshly fabricated crossbar pairs programmed open loop
 // with the VAT weights, averaged over the protocol's MC runs.
-func Fig4(scale Scale, seed uint64) (*Fig4Result, error) {
+func Fig4(ctx context.Context, scale Scale, seed uint64) (*Fig4Result, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
@@ -63,6 +82,9 @@ func Fig4(scale Scale, seed uint64) (*Fig4Result, error) {
 	src := rng.New(seed + 7)
 
 	for _, gamma := range gammas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w, err := opt.TrainAll(xTrain, lTrain, dataset.NumClasses, gamma, rho, p.sgd, src.Split())
 		if err != nil {
 			return nil, err
@@ -73,11 +95,11 @@ func Fig4(scale Scale, seed uint64) (*Fig4Result, error) {
 		// Hardware test rate with variation, averaged over fabrications.
 		var sum float64
 		for mc := 0; mc < p.mcRuns; mc++ {
-			n, err := buildNCS(trainSet.Features(), 0, sigma, 0, 6, seed+100*uint64(mc)+11)
+			n, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), 0, sigma, 0, 6, seed+100*uint64(mc)+11)
 			if err != nil {
 				return nil, err
 			}
-			if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+			if err := n.ProgramWeights(w, hw.ProgramOptions{}); err != nil {
 				return nil, err
 			}
 			rate, err := n.Evaluate(testSet)
@@ -102,8 +124,11 @@ func Fig4(scale Scale, seed uint64) (*Fig4Result, error) {
 // Fig4SelfTuned runs the Fig. 5 self-tuning loop on the same protocol and
 // reports the gamma it selects — used to confirm the automatic scan picks
 // (near) the measured peak.
-func Fig4SelfTuned(scale Scale, seed uint64) (float64, []train.GammaPoint, error) {
+func Fig4SelfTuned(ctx context.Context, scale Scale, seed uint64) (float64, []train.GammaPoint, error) {
 	p := protoFor(scale)
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
 	trainSet, _, err := digitSets(p, seed)
 	if err != nil {
 		return 0, nil, err

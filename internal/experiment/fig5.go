@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"vortex/internal/train"
+)
+
+// Fig5Result holds the realized self-tuning scan of paper Fig. 5: the
+// gamma-selection curve (train/validation rates per candidate gamma) and
+// the gamma the scan settled on.
+type Fig5Result struct {
+	Gamma float64 // the selected penalty scale
+	Curve []train.GammaPoint
+}
+
+func (r *Fig5Result) cells() ([]string, [][]string) {
+	rows := make([][]string, len(r.Curve))
+	for i, pt := range r.Curve {
+		sel := ""
+		if pt.SelectedByScan {
+			sel = "<- selected"
+		}
+		rows[i] = []string{
+			f3(pt.Gamma), pct(pt.TrainRate), pct(pt.CleanValRate),
+			pct(pt.VariedValRate), sel,
+		}
+	}
+	return []string{"gamma", "train%", "val% (clean)", "val% (varied)", ""}, rows
+}
+
+// Table renders the result as an aligned text table.
+func (r *Fig5Result) Table() string { return textTable(r.cells()) }
+
+// CSV renders the result as comma-separated values for plotting.
+func (r *Fig5Result) CSV() string { return csvTable(r.cells()) }
+
+// Annotation implements Result.
+func (r *Fig5Result) Annotation() string {
+	return fmt.Sprintf("self-tuning selected gamma = %.2f\n", r.Gamma)
+}
+
+func init() {
+	register(Runner{
+		Name:        "fig5",
+		Description: "Fig. 5 — self-tuning scan (the flow chart realized; prints the selected gamma)",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Fig5(ctx, s, seed)
+		},
+	})
+}
+
+// Fig5 runs the self-tuning gamma scan (Fig4SelfTuned) and packages the
+// curve as a tabular result.
+func Fig5(ctx context.Context, scale Scale, seed uint64) (*Fig5Result, error) {
+	gamma, curve, err := Fig4SelfTuned(ctx, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Gamma: gamma, Curve: curve}, nil
+}

@@ -1,13 +1,16 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+
 	"vortex/internal/core"
 	"vortex/internal/dataset"
+	"vortex/internal/hw"
 	"vortex/internal/mapping"
 	"vortex/internal/opt"
 	"vortex/internal/rng"
 	"vortex/internal/stats"
-	"vortex/internal/xbar"
 )
 
 // Fig7Result holds the AMP-effectiveness curves of paper Fig. 7: VAT
@@ -41,11 +44,27 @@ func (r *Fig7Result) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *Fig7Result) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *Fig7Result) Annotation() string {
+	return fmt.Sprintf("best gamma before AMP %.2f, after AMP %.2f (paper: 0.4 -> 0.2)\n",
+		r.BestGammaBefore, r.BestGammaAfter)
+}
+
+func init() {
+	register(Runner{
+		Name:        "fig7",
+		Description: "Fig. 7 — effectiveness of AMP across gamma",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Fig7(ctx, s, seed)
+		},
+	})
+}
+
 // Fig7 sweeps gamma at sigma = 0.8 and measures the hardware test rate of
 // VAT-programmed crossbars before and after AMP's greedy remapping, as in
 // paper Sec. 5.1. The same fabricated hardware and the same weights are
 // used on both sides of the comparison, isolating the mapping effect.
-func Fig7(scale Scale, seed uint64) (*Fig7Result, error) {
+func Fig7(ctx context.Context, scale Scale, seed uint64) (*Fig7Result, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
@@ -64,6 +83,9 @@ func Fig7(scale Scale, seed uint64) (*Fig7Result, error) {
 	xmean := trainSet.MeanInput()
 
 	for _, gamma := range gammas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w, err := opt.TrainAll(xTrain, lTrain, dataset.NumClasses, gamma, rho, p.sgd, src.Split())
 		if err != nil {
 			return nil, err
@@ -72,13 +94,13 @@ func Fig7(scale Scale, seed uint64) (*Fig7Result, error) {
 
 		var sumBefore, sumAfter float64
 		for mc := 0; mc < p.mcRuns; mc++ {
-			n, err := buildNCS(trainSet.Features(), redundancy, sigma, 0, 6,
+			n, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), redundancy, sigma, 0, 6,
 				seed+1000*uint64(mc)+23)
 			if err != nil {
 				return nil, err
 			}
 			// Before AMP: identity mapping.
-			if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+			if err := n.ProgramWeights(w, hw.ProgramOptions{}); err != nil {
 				return nil, err
 			}
 			rate, err := n.Evaluate(testSet)
@@ -103,7 +125,7 @@ func Fig7(scale Scale, seed uint64) (*Fig7Result, error) {
 			if err := n.SetRowMap(rowMap); err != nil {
 				return nil, err
 			}
-			if err := n.ProgramWeights(w, xbar.ProgramOptions{}); err != nil {
+			if err := n.ProgramWeights(w, hw.ProgramOptions{}); err != nil {
 				return nil, err
 			}
 			rate, err = n.Evaluate(testSet)
@@ -132,7 +154,8 @@ func Fig7(scale Scale, seed uint64) (*Fig7Result, error) {
 // vortexTestRate is the shared Fig. 8 / Fig. 9 inner loop: run the full
 // Vortex pipeline at a fixed gamma on freshly fabricated hardware and
 // return the mean test rate over mcRuns fabrications.
-func vortexTestRate(trainSet, testSet *dataset.Set, sigma, rwire float64,
+func vortexTestRate(ctx context.Context, backend hw.Backend,
+	trainSet, testSet *dataset.Set, sigma, rwire float64,
 	redundancy, adcBits, pretestBits int, gamma float64,
 	sgd opt.SGDConfig, mcRuns int, seed uint64) (float64, error) {
 	cfg := core.DefaultVortexConfig()
@@ -146,8 +169,8 @@ func vortexTestRate(trainSet, testSet *dataset.Set, sigma, rwire float64,
 	// only where the paper studies it — on AMP's per-cell factor
 	// estimates and on output sensing.
 	cfg.SigmaOverride = sigma
-	return parallelMean(mcRuns, func(mc int) (float64, error) {
-		n, err := buildNCS(trainSet.Features(), redundancy, sigma, rwire, adcBits,
+	return parallelMean(ctx, mcRuns, func(mc int) (float64, error) {
+		n, err := buildNCS(backend, trainSet.Features(), redundancy, sigma, rwire, adcBits,
 			seed+1000*uint64(mc)+37)
 		if err != nil {
 			return 0, err

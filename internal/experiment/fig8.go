@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"vortex/internal/rng"
 	"vortex/internal/train"
 )
@@ -40,10 +42,23 @@ func (r *Fig8Result) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *Fig8Result) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *Fig8Result) Annotation() string { return "" }
+
+func init() {
+	register(Runner{
+		Name:        "fig8",
+		Description: "Fig. 8 — ADC resolution vs test rate",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Fig8(ctx, s, seed)
+		},
+	})
+}
+
 // Fig8 sweeps the ADC resolution for several sigma levels and measures
 // the Vortex test rate, reproducing the saturation behaviour the paper
 // uses to fix the ADC at 6 bits.
-func Fig8(scale Scale, seed uint64) (*Fig8Result, error) {
+func Fig8(ctx context.Context, scale Scale, seed uint64) (*Fig8Result, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
@@ -62,6 +77,9 @@ func Fig8(scale Scale, seed uint64) (*Fig8Result, error) {
 	}
 
 	for si, sigma := range sigmas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Pick gamma once per sigma with the software self-tuning scan.
 		_, gamma, _, err := train.SelfTune(trainSet, train.SelfTuneConfig{
 			Sigma:  sigma,
@@ -73,7 +91,7 @@ func Fig8(scale Scale, seed uint64) (*Fig8Result, error) {
 		}
 		rates := make([]float64, len(bits))
 		for bi, b := range bits {
-			rate, err := vortexTestRate(trainSet, testSet, sigma, 0, 0, b, b,
+			rate, err := vortexTestRate(ctx, fastBackend(scale, 0), trainSet, testSet, sigma, 0, 0, b, b,
 				gamma, p.sgd, p.mcRuns, seed+uint64(100*si+10*bi))
 			if err != nil {
 				return nil, err

@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+
 	"vortex/internal/core"
 	"vortex/internal/mlp"
 	"vortex/internal/opt"
@@ -39,8 +42,24 @@ func (r *MLPResult) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *MLPResult) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *MLPResult) Annotation() string {
+	return fmt.Sprintf("(hidden %d; clean software: linear %.1f%%, MLP %.1f%%)\n",
+		r.Hidden, 100*r.CleanLinear, 100*r.CleanMLP)
+}
+
+func init() {
+	register(Runner{
+		Name:        "mlp",
+		Description: "Extension — two-layer (MLP) crossbar network: plain vs noise-injected training",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return MLP(ctx, s, seed)
+		},
+	})
+}
+
 // MLP runs the two-layer extension study.
-func MLP(scale Scale, seed uint64) (*MLPResult, error) {
+func MLP(ctx context.Context, scale Scale, seed uint64) (*MLPResult, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
@@ -72,6 +91,9 @@ func MLP(scale Scale, seed uint64) (*MLPResult, error) {
 	res.CleanLinear = opt.Accuracy(x, labels, linW)
 
 	for si, sigma := range sigmas {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sigma := sigma
 		// Injection-trained MLP is sigma-specific.
 		injNet, err := mlp.Train(trainSet, 10,
@@ -79,8 +101,8 @@ func MLP(scale Scale, seed uint64) (*MLPResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		lin, err := parallelMean(p.mcRuns, func(mc int) (float64, error) {
-			n, err := buildNCS(trainSet.Features(), trainSet.Features()/8, sigma, 0, 6,
+		lin, err := parallelMean(ctx, p.mcRuns, func(mc int) (float64, error) {
+			n, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), trainSet.Features()/8, sigma, 0, 6,
 				seed+uint64(100*si+mc))
 			if err != nil {
 				return 0, err
@@ -102,7 +124,7 @@ func MLP(scale Scale, seed uint64) (*MLPResult, error) {
 		res.Linear = append(res.Linear, lin)
 
 		hwRate := func(net *mlp.Net, off uint64) (float64, error) {
-			return parallelMean(p.mcRuns, func(mc int) (float64, error) {
+			return parallelMean(ctx, p.mcRuns, func(mc int) (float64, error) {
 				hw, err := mlp.BuildHardware(net, mlp.HardwareConfig{Sigma: sigma},
 					trainSet, rng.New(seed+off+uint64(300*si+mc)))
 				if err != nil {

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -9,7 +11,7 @@ func TestMLPShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := MLP(Quick, 35)
+	res, err := MLP(context.Background(), Quick, 35)
 	if err != nil {
 		t.Fatal(err)
 	}

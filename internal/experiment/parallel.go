@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -9,13 +10,18 @@ import (
 // workers and returns the results in index order. Every fn call must be
 // independent and deterministic in its index (the experiment drivers
 // derive a fresh rng seed from the index), so the output is identical to
-// a sequential loop regardless of scheduling. The first error wins and
-// cancels nothing — remaining calls still run to completion, which is
-// fine for the pure-compute workloads here.
-func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+// a sequential loop regardless of scheduling.
+//
+// The first fn error wins and cancels the remaining work: indices not
+// yet handed to a worker are dropped, so a failing sweep returns
+// promptly instead of running every remaining repetition to completion.
+// External cancellation behaves the same way — when ctx is canceled,
+// dispatch stops and parallelMap returns ctx.Err() after in-flight
+// calls drain.
+func parallelMap[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
-		return out, nil
+		return out, ctx.Err()
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -23,6 +29,9 @@ func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -31,45 +40,64 @@ func parallelMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
 		}
 		return out, nil
 	}
+	// A private cancel scope lets the first error stop the dispatch loop
+	// without affecting the caller's context.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain without computing
+				}
 				v, err := fn(i)
 				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+					fail(err)
 					continue
 				}
 				out[i] = v
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
 // parallelMean runs fn over n indices concurrently and returns the mean
 // of the results.
-func parallelMean(n int, fn func(i int) (float64, error)) (float64, error) {
-	vals, err := parallelMap(n, fn)
+func parallelMean(ctx context.Context, n int, fn func(i int) (float64, error)) (float64, error) {
+	vals, err := parallelMap(ctx, n, fn)
 	if err != nil {
 		return 0, err
 	}

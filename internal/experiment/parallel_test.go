@@ -1,13 +1,15 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestParallelMapOrdersResults(t *testing.T) {
-	out, err := parallelMap(100, func(i int) (int, error) { return i * i, nil })
+	out, err := parallelMap(context.Background(), 100, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +21,7 @@ func TestParallelMapOrdersResults(t *testing.T) {
 }
 
 func TestParallelMapEmpty(t *testing.T) {
-	out, err := parallelMap(0, func(i int) (int, error) { return 0, nil })
+	out, err := parallelMap(context.Background(), 0, func(i int) (int, error) { return 0, nil })
 	if err != nil || len(out) != 0 {
 		t.Fatal("empty map should be trivial")
 	}
@@ -27,7 +29,7 @@ func TestParallelMapEmpty(t *testing.T) {
 
 func TestParallelMapPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	_, err := parallelMap(50, func(i int) (int, error) {
+	_, err := parallelMap(context.Background(), 50, func(i int) (int, error) {
 		if i == 17 {
 			return 0, boom
 		}
@@ -38,9 +40,73 @@ func TestParallelMapPropagatesError(t *testing.T) {
 	}
 }
 
+func TestParallelMapErrorCancelsRemaining(t *testing.T) {
+	// After the first error, indices not yet dispatched must be skipped:
+	// with an early failure, far fewer than n calls should run.
+	boom := errors.New("boom")
+	var count atomic.Int64
+	n := 100000
+	_, err := parallelMap(context.Background(), n, func(i int) (int, error) {
+		count.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := count.Load(); got == int64(n) {
+		t.Fatalf("all %d calls ran despite an early error", n)
+	}
+}
+
+func TestParallelMapExternalCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		_, err := parallelMap(ctx, 100000, func(i int) (int, error) {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+			}
+			time.Sleep(100 * time.Microsecond)
+			return i, nil
+		})
+		done <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("parallelMap did not return promptly after cancellation")
+	}
+}
+
+func TestParallelMapPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var count atomic.Int64
+	_, err := parallelMap(ctx, 1, func(i int) (int, error) {
+		count.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if count.Load() != 0 {
+		t.Fatal("fn ran despite a pre-canceled context")
+	}
+}
+
 func TestParallelMapRunsAll(t *testing.T) {
 	var count atomic.Int64
-	_, err := parallelMap(200, func(i int) (struct{}, error) {
+	_, err := parallelMap(context.Background(), 200, func(i int) (struct{}, error) {
 		count.Add(1)
 		return struct{}{}, nil
 	})
@@ -53,7 +119,7 @@ func TestParallelMapRunsAll(t *testing.T) {
 }
 
 func TestParallelMean(t *testing.T) {
-	m, err := parallelMean(4, func(i int) (float64, error) { return float64(i), nil })
+	m, err := parallelMean(context.Background(), 4, func(i int) (float64, error) { return float64(i), nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +137,11 @@ func TestParallelMapDeterministic(t *testing.T) {
 		}
 		return x, nil
 	}
-	a, err := parallelMap(64, fn)
+	a, err := parallelMap(context.Background(), 64, fn)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := parallelMap(64, fn)
+	b, err := parallelMap(context.Background(), 64, fn)
 	if err != nil {
 		t.Fatal(err)
 	}

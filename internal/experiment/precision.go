@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+
 	"vortex/internal/core"
 	"vortex/internal/ncs"
 	"vortex/internal/rng"
@@ -35,9 +38,24 @@ func (r *PrecisionResult) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *PrecisionResult) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *PrecisionResult) Annotation() string {
+	return fmt.Sprintf("(variation column at sigma=%.1f)\n", r.Sigma)
+}
+
+func init() {
+	register(Runner{
+		Name:        "precision",
+		Description: "Extension — write precision: test rate vs programming-DAC levels",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Precision(ctx, s, seed)
+		},
+	})
+}
+
 // Precision sweeps the programming-DAC level count and measures the
 // Vortex test rate on clean and varied hardware.
-func Precision(scale Scale, seed uint64) (*PrecisionResult, error) {
+func Precision(ctx context.Context, scale Scale, seed uint64) (*PrecisionResult, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
@@ -52,8 +70,9 @@ func Precision(scale Scale, seed uint64) (*PrecisionResult, error) {
 	for _, lv := range levels {
 		lv := lv
 		runOne := func(s float64) (float64, error) {
-			return parallelMean(p.mcRuns, func(mc int) (float64, error) {
+			return parallelMean(ctx, p.mcRuns, func(mc int) (float64, error) {
 				cfg := ncs.DefaultConfig(trainSet.Features(), 10)
+				cfg.Backend = fastBackend(scale, 0)
 				cfg.Sigma = s
 				cfg.WriteLvls = lv
 				n, err := ncs.New(cfg, rng.New(seed+uint64(97*lv+13*mc)))

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -9,7 +11,7 @@ func TestPrecisionShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Precision(Quick, 33)
+	res, err := Precision(context.Background(), Quick, 33)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+
 	"vortex/internal/core"
 	"vortex/internal/device"
+	"vortex/internal/hw"
 	"vortex/internal/ncs"
 	"vortex/internal/rng"
-	"vortex/internal/xbar"
 )
 
 // RefreshResult studies periodic reprogramming as the operational answer
@@ -41,9 +44,24 @@ func (r *RefreshResult) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *RefreshResult) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *RefreshResult) Annotation() string {
+	return fmt.Sprintf("(%d refreshes over the horizon, %d pulses)\n", r.Refreshes, r.PulseCost)
+}
+
+func init() {
+	register(Runner{
+		Name:        "refresh",
+		Description: "Extension — periodic verify-refresh vs retention drift, with pulse cost",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Refresh(ctx, s, seed)
+		},
+	})
+}
+
 // Refresh ages two identically trained systems over the decade grid,
 // verify-reprogramming one at the start of every decade from 1e2 s on.
-func Refresh(scale Scale, seed uint64) (*RefreshResult, error) {
+func Refresh(ctx context.Context, scale Scale, seed uint64) (*RefreshResult, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
@@ -58,7 +76,8 @@ func Refresh(scale Scale, seed uint64) (*RefreshResult, error) {
 	res := &RefreshResult{Times: times, Sigma: sigma, Drift: drift}
 
 	build := func() (*ncs.NCS, *core.VortexResult, error) {
-		n, err := buildNCS(trainSet.Features(), trainSet.Features()/8, sigma, 0, 6, seed+10)
+		// Retention drift needs the circuit backend (hw.Ager).
+		n, err := buildNCS(hw.Circuit, trainSet.Features(), trainSet.Features()/8, sigma, 0, 6, seed+10)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -93,6 +112,9 @@ func Refresh(scale Scale, seed uint64) (*RefreshResult, error) {
 	res.NoRefresh = make([]float64, len(times))
 	res.Refreshed = make([]float64, len(times))
 	for ti, t := range times {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := plain.AgeTo(t); err != nil {
 			return nil, err
 		}
@@ -100,7 +122,7 @@ func Refresh(scale Scale, seed uint64) (*RefreshResult, error) {
 			if err := refreshed.AgeTo(nextRefresh); err != nil {
 				return nil, err
 			}
-			if _, err := refreshed.ProgramWeightsVerify(trained.Weights, xbar.VerifyOptions{}); err != nil {
+			if _, err := refreshed.ProgramWeightsVerify(trained.Weights, hw.VerifyOptions{}); err != nil {
 				return nil, err
 			}
 			res.Refreshes++

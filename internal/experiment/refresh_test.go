@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -9,7 +11,7 @@ func TestRefreshShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Refresh(Quick, 39)
+	res, err := Refresh(context.Background(), Quick, 39)
 	if err != nil {
 		t.Fatal(err)
 	}

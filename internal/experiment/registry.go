@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Result is the common surface of every experiment result: both text
+// renderings plus a one-line human annotation ("" when the table stands
+// alone) appended after the table in human-readable output.
+type Result interface {
+	Table() string
+	CSV() string
+	Annotation() string
+}
+
+// Runner couples one experiment driver with its registry metadata so
+// front ends (cmd/vortexsim, scripts, tests) can enumerate and dispatch
+// experiments without per-experiment code.
+type Runner struct {
+	// Name is the stable experiment id ("fig2", "table1", "faults", ...).
+	Name string
+	// Description is the one-line human summary shown by -list.
+	Description string
+	// Run executes the driver. Implementations honor ctx cancellation:
+	// a canceled context aborts the run promptly with ctx.Err().
+	Run func(ctx context.Context, scale Scale, seed uint64) (Result, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Runner{}
+)
+
+// register adds a runner to the registry; driver files call it from
+// init, so duplicate or malformed registrations are programmer errors.
+func register(r Runner) {
+	if r.Name == "" || r.Run == nil {
+		panic("experiment: register needs a name and a run function")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[r.Name]; dup {
+		panic(fmt.Sprintf("experiment: duplicate runner %q", r.Name))
+	}
+	registry[r.Name] = r
+}
+
+// Lookup returns the runner registered under name.
+func Lookup(name string) (Runner, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	r, ok := registry[name]
+	return r, ok
+}
+
+// Runners returns every registered runner sorted by name.
+func Runners() []Runner {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Runner, 0, len(registry))
+	for _, r := range registry {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Closest returns up to max registered names ranked by edit distance to
+// name — the "did you mean" list for an unknown -exp value.
+func Closest(name string, max int) []string {
+	type cand struct {
+		name string
+		dist int
+	}
+	var cands []cand
+	for _, r := range Runners() {
+		cands = append(cands, cand{r.Name, editDistance(name, r.Name)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
+	var out []string
+	for _, c := range cands {
+		if len(out) >= max {
+			break
+		}
+		// Suggest only names within a plausible typo radius: allow more
+		// edits for longer inputs, but never more than half the name.
+		limit := (len(name) + len(c.name)) / 4
+		if limit < 2 {
+			limit = 2
+		}
+		if c.dist <= limit {
+			out = append(out, c.name)
+		}
+	}
+	return out
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1              // deletion
+			if v := cur[j-1] + 1; v < m { // insertion
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m { // substitution
+				m = v
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

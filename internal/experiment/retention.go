@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"vortex/internal/core"
 	"vortex/internal/device"
+	"vortex/internal/hw"
 	"vortex/internal/rng"
 )
 
@@ -37,11 +40,27 @@ func (r *RetentionResult) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *RetentionResult) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *RetentionResult) Annotation() string {
+	return fmt.Sprintf("(sigma=%.1f, drift nu=%.2f+/-%.2f, horizon %.0e s)\n",
+		r.Sigma, r.Drift.NuMean, r.Drift.NuSigma, r.Horizon)
+}
+
+func init() {
+	register(Runner{
+		Name:        "retention",
+		Description: "Extension — retention drift: test rate vs age, plain vs drift-aware training",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Retention(ctx, s, seed)
+		},
+	})
+}
+
 // Retention programs two identically fabricated systems — one trained
 // against the fabrication sigma alone, one with the drift-equivalent
 // sigma at the target horizon folded in quadrature — then ages both and
 // tracks their test rates.
-func Retention(scale Scale, seed uint64) (*RetentionResult, error) {
+func Retention(ctx context.Context, scale Scale, seed uint64) (*RetentionResult, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
 	if err != nil {
@@ -62,9 +81,13 @@ func Retention(scale Scale, seed uint64) (*RetentionResult, error) {
 	res.Plain = make([]float64, len(times))
 	res.DriftAware = make([]float64, len(times))
 	for mc := 0; mc < p.mcRuns; mc++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		base := seed + uint64(701*mc)
 		run := func(trainSigma float64, out []float64) error {
-			n, err := buildNCS(trainSet.Features(), trainSet.Features()/8, sigma, 0, 6, base)
+			// Retention drift needs the circuit backend (hw.Ager).
+			n, err := buildNCS(hw.Circuit, trainSet.Features(), trainSet.Features()/8, sigma, 0, 6, base)
 			if err != nil {
 				return err
 			}

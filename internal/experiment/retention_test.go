@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -9,7 +11,7 @@ func TestRetentionShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Retention(Quick, 31)
+	res, err := Retention(context.Background(), Quick, 31)
 	if err != nil {
 		t.Fatal(err)
 	}

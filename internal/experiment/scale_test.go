@@ -1,0 +1,70 @@
+package experiment
+
+import "testing"
+
+func TestParseScaleRoundTrip(t *testing.T) {
+	for _, s := range []Scale{Quick, Default, Full} {
+		got, err := ParseScale(s.String())
+		if err != nil {
+			t.Fatalf("ParseScale(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("ParseScale(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+}
+
+func TestParseScaleDefaults(t *testing.T) {
+	got, err := ParseScale("")
+	if err != nil || got != Default {
+		t.Errorf("ParseScale(\"\") = %v, %v; want Default", got, err)
+	}
+}
+
+func TestParseScaleRejectsUnknown(t *testing.T) {
+	for _, in := range []string{"medium", "FULL", "quick ", "0"} {
+		if _, err := ParseScale(in); err == nil {
+			t.Errorf("ParseScale(%q) accepted", in)
+		}
+	}
+}
+
+func TestScaleStringUnknown(t *testing.T) {
+	if s := Scale(99).String(); s != "unknown" {
+		t.Errorf("Scale(99).String() = %q", s)
+	}
+}
+
+func TestProtoForPopulatesEveryField(t *testing.T) {
+	for _, s := range []Scale{Quick, Default, Full} {
+		p := protoFor(s)
+		if p.factor <= 0 {
+			t.Errorf("%v: factor = %d", s, p.factor)
+		}
+		if p.perClassTrain <= 0 {
+			t.Errorf("%v: perClassTrain = %d", s, p.perClassTrain)
+		}
+		if p.perClassTest <= 0 {
+			t.Errorf("%v: perClassTest = %d", s, p.perClassTest)
+		}
+		if p.sgd.Epochs <= 0 {
+			t.Errorf("%v: sgd.Epochs = %d", s, p.sgd.Epochs)
+		}
+		if p.mcRuns <= 0 {
+			t.Errorf("%v: mcRuns = %d", s, p.mcRuns)
+		}
+		if p.cldEpochs <= 0 {
+			t.Errorf("%v: cldEpochs = %d", s, p.cldEpochs)
+		}
+	}
+}
+
+func TestProtoForScalesMonotonically(t *testing.T) {
+	q, d, f := protoFor(Quick), protoFor(Default), protoFor(Full)
+	if !(q.perClassTrain < d.perClassTrain && d.perClassTrain < f.perClassTrain) {
+		t.Error("perClassTrain not increasing Quick < Default < Full")
+	}
+	if !(q.factor > d.factor && d.factor > f.factor) {
+		t.Error("undersampling factor not decreasing Quick > Default > Full")
+	}
+}

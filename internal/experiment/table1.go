@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+
 	"vortex/internal/core"
 	"vortex/internal/dataset"
 	"vortex/internal/rng"
@@ -55,13 +58,29 @@ func (r *Table1Result) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *Table1Result) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *Table1Result) Annotation() string {
+	return fmt.Sprintf("(r_wire=%.1f ohm, sigma=%.1f, redundancy=%d at 784 rows)\n",
+		r.RWire, r.Sigma, r.Redundancy)
+}
+
+func init() {
+	register(Runner{
+		Name:        "table1",
+		Description: "Table 1 — Vortex vs CLD at 784/196/49 rows, with and without IR-drop",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Table1(ctx, s, seed)
+		},
+	})
+}
+
 // Table1 runs the size sweep of paper Sec. 5.4. The wire resistance is
 // 2.5 ohm per segment as in the paper; sigma is 0.6 and Vortex uses the
 // paper's default 100 redundant rows (scaled down with the array at the
 // smaller sizes). At Quick scale the 784-row column is dropped to keep
 // test runtime bounded — benchmarks and CLI runs use Default/Full, which
 // cover all three paper sizes.
-func Table1(scale Scale, seed uint64) (*Table1Result, error) {
+func Table1(ctx context.Context, scale Scale, seed uint64) (*Table1Result, error) {
 	p := protoFor(scale)
 	// Generate once at full resolution; undersample per size.
 	cfg := dataset.DefaultConfig()
@@ -82,6 +101,9 @@ func Table1(scale Scale, seed uint64) (*Table1Result, error) {
 	res := &Table1Result{RWire: rwire, Sigma: sigma, Redundancy: 100}
 
 	for _, factor := range factors {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		trainSet, err := dataset.Undersample(train28, factor, dataset.Decimate)
 		if err != nil {
 			return nil, err
@@ -99,7 +121,7 @@ func Table1(scale Scale, seed uint64) (*Table1Result, error) {
 		}
 
 		// CLD with IR-drop.
-		nCLD, err := buildNCS(inputs, 0, sigma, rwire, 6, seed+uint64(2*factor))
+		nCLD, err := buildNCS(fastBackend(scale, rwire), inputs, 0, sigma, rwire, 6, seed+uint64(2*factor))
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +138,7 @@ func Table1(scale Scale, seed uint64) (*Table1Result, error) {
 		res.CLDIRTrain = append(res.CLDIRTrain, cldRes.TrainRate)
 
 		// Vortex with IR-drop.
-		nV, err := buildNCS(inputs, red, sigma, rwire, 6, seed+uint64(2*factor))
+		nV, err := buildNCS(fastBackend(scale, rwire), inputs, red, sigma, rwire, 6, seed+uint64(2*factor))
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +157,7 @@ func Table1(scale Scale, seed uint64) (*Table1Result, error) {
 		res.VortexIRTrain = append(res.VortexIRTrain, vRes.TrainRate)
 
 		// CLD without IR-drop.
-		nRef, err := buildNCS(inputs, 0, sigma, 0, 6, seed+uint64(2*factor))
+		nRef, err := buildNCS(fastBackend(scale, 0), inputs, 0, sigma, 0, 6, seed+uint64(2*factor))
 		if err != nil {
 			return nil, err
 		}

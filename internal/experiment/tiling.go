@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"context"
+	"fmt"
+
+	"vortex/internal/hw"
 	"vortex/internal/rng"
 	"vortex/internal/tile"
 	"vortex/internal/train"
-	"vortex/internal/xbar"
 )
 
 // TilingResult reports the crossbar-partitioning study: test rate versus
@@ -42,9 +45,24 @@ func (r *TilingResult) Table() string { return textTable(r.cells()) }
 // CSV renders the result as comma-separated values for plotting.
 func (r *TilingResult) CSV() string { return csvTable(r.cells()) }
 
+// Annotation implements Result.
+func (r *TilingResult) Annotation() string {
+	return fmt.Sprintf("(sigma=%.1f, r_wire=%.1f ohm, %d inputs)\n", r.Sigma, r.RWire, r.Inputs)
+}
+
+func init() {
+	register(Runner{
+		Name:        "tiling",
+		Description: "Extension — crossbar tiling: tile height vs test rate under IR-drop",
+		Run: func(ctx context.Context, s Scale, seed uint64) (Result, error) {
+			return Tiling(ctx, s, seed)
+		},
+	})
+}
+
 // Tiling sweeps the tile height with VAT-trained weights programmed both
 // raw (no IR compensation) and compensated, averaged over fabrications.
-func Tiling(scale Scale, seed uint64) (*TilingResult, error) {
+func Tiling(ctx context.Context, scale Scale, seed uint64) (*TilingResult, error) {
 	p := protoFor(scale)
 	if scale == Quick {
 		// IR-drop needs column length to matter: keep the 14x14 geometry
@@ -76,7 +94,7 @@ func Tiling(scale Scale, seed uint64) (*TilingResult, error) {
 	for ti, tr := range tileRows {
 		tr := tr
 		run := func(compensate bool) (float64, error) {
-			return parallelMean(p.mcRuns, func(mc int) (float64, error) {
+			return parallelMean(ctx, p.mcRuns, func(mc int) (float64, error) {
 				cfg := tile.Config{
 					MaxRows: tr,
 					Sigma:   sigma,
@@ -87,7 +105,7 @@ func Tiling(scale Scale, seed uint64) (*TilingResult, error) {
 				if err != nil {
 					return 0, err
 				}
-				if err := a.ProgramWeights(w, xbar.ProgramOptions{CompensateIR: compensate}); err != nil {
+				if err := a.ProgramWeights(w, hw.ProgramOptions{CompensateIR: compensate}); err != nil {
 					return 0, err
 				}
 				return a.Evaluate(testSet)

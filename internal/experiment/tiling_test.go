@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -9,7 +11,7 @@ func TestTilingShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("training sweep")
 	}
-	res, err := Tiling(Quick, 37)
+	res, err := Tiling(context.Background(), Quick, 37)
 	if err != nil {
 		t.Fatal(err)
 	}

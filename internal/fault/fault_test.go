@@ -4,9 +4,9 @@ import (
 	"testing"
 
 	"vortex/internal/device"
+	"vortex/internal/hw"
 	"vortex/internal/ncs"
 	"vortex/internal/rng"
-	"vortex/internal/xbar"
 )
 
 // newNCS fabricates a test system: ideal sensing, no fabrication
@@ -53,10 +53,10 @@ func TestConfigValidate(t *testing.T) {
 
 func defectSnapshot(n *ncs.NCS) []device.DefectKind {
 	var s []device.DefectKind
-	for _, x := range []*xbar.Crossbar{n.Pos, n.Neg} {
+	for _, x := range []hw.Array{n.Pos, n.Neg} {
 		for i := 0; i < x.Rows(); i++ {
 			for j := 0; j < x.Cols(); j++ {
-				s = append(s, x.Cell(i, j).Defect)
+				s = append(s, x.(hw.CellAccessor).Cell(i, j).Defect)
 			}
 		}
 	}
@@ -163,10 +163,10 @@ func TestApplyWearCollapsesCycledDevices(t *testing.T) {
 	}
 	// Hammer every device far past its endurance draw (~5 cycles +/- 5%).
 	cells := 0
-	for _, x := range []*xbar.Crossbar{n.Pos, n.Neg} {
+	for _, x := range []hw.Array{n.Pos, n.Neg} {
 		for i := 0; i < x.Rows(); i++ {
 			for j := 0; j < x.Cols(); j++ {
-				x.Cell(i, j).Cycles = 100
+				x.(hw.CellAccessor).Cell(i, j).Cycles = 100
 				cells++
 			}
 		}
@@ -199,7 +199,7 @@ func TestApplyWearPartialNarrowsWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n.Pos.Cell(0, 0).Cycles = 60 // wear ~0.6: narrowed, not collapsed
+	n.Pos.(hw.CellAccessor).Cell(0, 0).Cycles = 60 // wear ~0.6: narrowed, not collapsed
 	rep, err := in.ApplyWear(n)
 	if err != nil {
 		t.Fatal(err)
@@ -207,7 +207,7 @@ func TestApplyWearPartialNarrowsWindow(t *testing.T) {
 	if rep.WornOut != 0 {
 		t.Fatalf("partial wear collapsed a device: %+v", rep)
 	}
-	cell := n.Pos.Cell(0, 0)
+	cell := n.Pos.(hw.CellAccessor).Cell(0, 0)
 	if cell.Wear < 0.5 || cell.Wear > 0.7 {
 		t.Fatalf("wear %v, want ~0.6", cell.Wear)
 	}
@@ -261,7 +261,7 @@ func TestScanClassifiesWornAsSuspect(t *testing.T) {
 	n := newNCS(t, 4, 3, 0, 0.3, 51)
 	// Wear 0.8 leaves ~20% of the log window: the cell still moves, but
 	// covers well under 60% of the commanded decade.
-	n.Pos.Cell(1, 2).Wear = 0.8
+	n.Pos.(hw.CellAccessor).Cell(1, 2).Wear = 0.8
 	m, err := Scan(n, ScanOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -280,7 +280,7 @@ func TestScanClassifiesWornAsSuspect(t *testing.T) {
 func TestScanIsNonDestructive(t *testing.T) {
 	n := newNCS(t, 5, 3, 2, 0.4, 61)
 	w := randWeights(t, 5, 3, 62)
-	if _, err := n.ProgramWeightsVerify(w, xbar.VerifyOptions{TolLog: 0.01, MaxIter: 8}); err != nil {
+	if _, err := n.ProgramWeightsVerify(w, hw.VerifyOptions{TolLog: 0.01, MaxIter: 8}); err != nil {
 		t.Fatal(err)
 	}
 	before := n.DecodedWeights()

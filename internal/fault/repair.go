@@ -4,10 +4,10 @@ import (
 	"errors"
 	"math"
 
+	"vortex/internal/hw"
 	"vortex/internal/mapping"
 	"vortex/internal/mat"
 	"vortex/internal/ncs"
-	"vortex/internal/xbar"
 )
 
 // Policy sets the knobs of the repair pipeline.
@@ -15,7 +15,7 @@ type Policy struct {
 	// Scan configures the health scan of each round.
 	Scan ScanOptions
 	// Verify configures the program-and-verify pass of each round.
-	Verify xbar.VerifyOptions
+	Verify hw.VerifyOptions
 	// MaxRounds bounds the scan -> remap -> reprogram attempts before
 	// the pipeline gives up. Zero means the default 2; one round is the
 	// plain detect-and-remap pass, further rounds catch cells that die

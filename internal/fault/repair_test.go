@@ -4,10 +4,10 @@ import (
 	"testing"
 
 	"vortex/internal/device"
+	"vortex/internal/hw"
 	"vortex/internal/mat"
 	"vortex/internal/ncs"
 	"vortex/internal/rng"
-	"vortex/internal/xbar"
 )
 
 func randWeights(t *testing.T, rows, cols int, seed uint64) *mat.Matrix {
@@ -40,16 +40,16 @@ func decodeError(n *ncs.NCS, want *mat.Matrix) float64 {
 func TestRepairRecoversFromStuckCells(t *testing.T) {
 	n := newNCS(t, 6, 3, 4, 0.3, 81)
 	w := randWeights(t, 6, 3, 82)
-	vopts := xbar.VerifyOptions{TolLog: 0.01, MaxIter: 8}
+	vopts := hw.VerifyOptions{TolLog: 0.01, MaxIter: 8}
 	if _, err := n.ProgramWeightsVerify(w, vopts); err != nil {
 		t.Fatal(err)
 	}
 	healthyErr := decodeError(n, w)
 
 	// Kill cells on two mapped physical rows (identity map covers 0..5).
-	n.Pos.Cell(0, 1).Defect = device.DefectStuckLRS
-	n.Neg.Cell(2, 0).Defect = device.DefectStuckHRS
-	n.Pos.Cell(2, 2).Defect = device.DefectStuckLRS
+	n.Pos.(hw.CellAccessor).Cell(0, 1).Defect = device.DefectStuckLRS
+	n.Neg.(hw.CellAccessor).Cell(2, 0).Defect = device.DefectStuckHRS
+	n.Pos.(hw.CellAccessor).Cell(2, 2).Defect = device.DefectStuckLRS
 	n.Invalidate()
 	faultedErr := decodeError(n, w)
 	if faultedErr < 2*healthyErr {
@@ -86,10 +86,10 @@ func TestRepairGivesUpWhenOverwhelmed(t *testing.T) {
 	n := newNCS(t, 4, 2, 1, 0.2, 91)
 	w := randWeights(t, 4, 2, 92)
 	before := n.RowMap()
-	n.Pos.Cell(1, 0).Defect = device.DefectStuckLRS
+	n.Pos.(hw.CellAccessor).Cell(1, 0).Defect = device.DefectStuckLRS
 	n.Invalidate()
 	out, err := Repair(n, w, Policy{
-		Verify:          xbar.VerifyOptions{TolLog: 0.01, MaxIter: 6},
+		Verify:          hw.VerifyOptions{TolLog: 0.01, MaxIter: 6},
 		MaxDeadFraction: 1e-9,
 	})
 	if err != nil {
@@ -115,9 +115,9 @@ func TestRepairReportsPersistentFailures(t *testing.T) {
 	// with the failure count — not claim success.
 	n := newNCS(t, 4, 2, 0, 0.2, 101)
 	w := randWeights(t, 4, 2, 102)
-	n.Pos.Cell(2, 1).Defect = device.DefectStuckLRS
+	n.Pos.(hw.CellAccessor).Cell(2, 1).Defect = device.DefectStuckLRS
 	n.Invalidate()
-	out, err := Repair(n, w, Policy{Verify: xbar.VerifyOptions{TolLog: 0.01, MaxIter: 6}})
+	out, err := Repair(n, w, Policy{Verify: hw.VerifyOptions{TolLog: 0.01, MaxIter: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,9 +5,9 @@ import (
 	"math"
 
 	"vortex/internal/adc"
+	"vortex/internal/hw"
 	"vortex/internal/mat"
 	"vortex/internal/ncs"
-	"vortex/internal/xbar"
 )
 
 // CellHealth classifies one cell after a health scan.
@@ -180,7 +180,7 @@ func Scan(n *ncs.NCS, opts ScanOptions) (*Map, error) {
 	m := &Map{Rows: n.PhysRows(), Cols: n.Config().Outputs}
 	expected := math.Log(opts.TargetHi / opts.TargetLo)
 	codec := n.Codec()
-	scanArray := func(x *xbar.Crossbar) ([]CellHealth, []float64, *mat.Matrix, error) {
+	scanArray := func(x hw.Array) ([]CellHealth, []float64, *mat.Matrix, error) {
 		fLo, err := x.Pretest(opts.TargetLo, opts.Senses, opts.Chain)
 		if err != nil {
 			return nil, nil, nil, err

@@ -1,0 +1,48 @@
+package hw_test
+
+import (
+	"fmt"
+	"testing"
+
+	"vortex/internal/device"
+	"vortex/internal/hw"
+	"vortex/internal/rng"
+)
+
+// BenchmarkBackend measures the read-path throughput of both backends at
+// the paper-scale 784x10 geometry (28x28 inputs, 10 classes). The
+// analytic backend caches the conductance matrix between programming
+// passes, so the steady-state Monte-Carlo read loop avoids the circuit
+// backend's per-read conductance rebuild.
+func BenchmarkBackend(b *testing.B) {
+	cfg := hw.Config{
+		Rows:  784,
+		Cols:  10,
+		Model: device.DefaultSwitchModel(),
+		Sigma: 0.5,
+	}
+	vin := make([]float64, cfg.Rows)
+	for i := range vin {
+		vin[i] = 0.5 + 0.5*float64(i%2)
+	}
+	for _, tc := range []struct {
+		name    string
+		backend hw.Backend
+	}{
+		{"circuit", hw.Circuit},
+		{"analytic", hw.Analytic},
+	} {
+		b.Run(fmt.Sprintf("read/%s/784x10", tc.name), func(b *testing.B) {
+			arr, err := hw.New(tc.backend, cfg, rng.New(42))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := arr.Read(vin); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package ncs
+
+import (
+	"testing"
+
+	"vortex/internal/dataset"
+	"vortex/internal/hw"
+	"vortex/internal/mat"
+	"vortex/internal/rng"
+)
+
+// TestBackendClassificationParity is the system-level arm of the
+// differential-equivalence suite: an identically seeded NCS pair on the
+// circuit and analytic backends must decode the same weights and
+// classify every sample identically.
+func TestBackendClassificationParity(t *testing.T) {
+	for _, seed := range []uint64{2, 77, 4096} {
+		set, err := dataset.GenerateBalanced(dataset.DefaultConfig(), 6, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set, err = dataset.Undersample(set, 4, dataset.Decimate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := mat.NewMatrix(set.Features(), dataset.NumClasses)
+		wsrc := rng.New(seed + 1)
+		for i := range w.Data {
+			w.Data[i] = wsrc.Normal(0, 0.3)
+		}
+
+		build := func(b hw.Backend) *NCS {
+			cfg := DefaultConfig(set.Features(), dataset.NumClasses)
+			cfg.Backend = b
+			cfg.Sigma = 0.5
+			cfg.DefectRate = 0.01
+			n, err := New(cfg, rng.New(seed+2))
+			if err != nil {
+				t.Fatalf("backend %v: %v", b, err)
+			}
+			if err := n.ProgramWeights(w, hw.ProgramOptions{}); err != nil {
+				t.Fatalf("backend %v: %v", b, err)
+			}
+			return n
+		}
+		circ := build(hw.Circuit)
+		ana := build(hw.Analytic)
+
+		rc, err := circ.Evaluate(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, err := ana.Evaluate(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rc != ra {
+			t.Errorf("seed %d: classification rates diverge: circuit %v analytic %v", seed, rc, ra)
+		}
+
+		dc := circ.DecodedWeights()
+		da := ana.DecodedWeights()
+		for i := range dc.Data {
+			if dc.Data[i] != da.Data[i] {
+				t.Fatalf("seed %d: decoded weights diverge at %d", seed, i)
+			}
+		}
+	}
+}
+
+// TestAnalyticBackendDriftUnsupported pins the capability error: the
+// analytic backend must refuse drift modeling with a descriptive error
+// rather than silently no-oping.
+func TestAnalyticBackendDriftUnsupported(t *testing.T) {
+	cfg := DefaultConfig(16, 4)
+	cfg.Backend = hw.Analytic
+	n, err := New(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AgeTo(100); err == nil {
+		t.Fatal("AgeTo succeeded on the analytic backend")
+	}
+}

@@ -12,9 +12,13 @@ import (
 	"vortex/internal/adc"
 	"vortex/internal/dataset"
 	"vortex/internal/device"
+	"vortex/internal/hw"
 	"vortex/internal/mat"
 	"vortex/internal/rng"
-	"vortex/internal/xbar"
+
+	// Link in the circuit backend so hw.New(hw.Circuit, ...) resolves;
+	// the analytic backend registers from within hw itself.
+	_ "vortex/internal/xbar"
 )
 
 // Config describes an NCS instance.
@@ -27,6 +31,13 @@ type Config struct {
 	ADCMax     float64 // output ADC full scale [A]; 0 = auto
 	WMax       float64 // weight full scale; default 1
 	WriteLvls  int     // programming-DAC levels per polarity; 0 = continuous
+
+	// Backend selects the array simulation backend both crossbars are
+	// fabricated on. The zero value is hw.Circuit, the full-physics
+	// reference; hw.Analytic is the fast conductance-matrix backend,
+	// exactly equivalent when RWire = 0 (it rejects configurations it
+	// cannot represent faithfully).
+	Backend hw.Backend
 
 	// Device and array parameters.
 	Model      device.SwitchModel
@@ -81,11 +92,13 @@ func (c Config) Validate() error {
 	return c.Model.Validate()
 }
 
-// NCS is one fabricated system instance.
+// NCS is one fabricated system instance. The crossbar pair is held
+// behind the hardware-abstraction boundary: Pos and Neg are hw.Array
+// values fabricated on the configured backend.
 type NCS struct {
 	cfg    Config
-	Pos    *xbar.Crossbar // positive weight array
-	Neg    *xbar.Crossbar // negative weight array
+	Pos    hw.Array // positive weight array
+	Neg    hw.Array // negative weight array
 	codec  Codec
 	chain  *adc.SenseChain
 	rowMap []int // logical row -> physical row
@@ -105,7 +118,7 @@ func New(cfg Config, src *rng.Source) (*NCS, error) {
 		return nil, errors.New("ncs: nil rng source")
 	}
 	physRows := cfg.Inputs + cfg.Redundancy
-	xc := xbar.Config{
+	xc := hw.Config{
 		Rows:       physRows,
 		Cols:       cfg.Outputs,
 		Model:      cfg.Model,
@@ -115,11 +128,11 @@ func New(cfg Config, src *rng.Source) (*NCS, error) {
 		DefectRate: cfg.DefectRate,
 		Disturb:    cfg.Disturb,
 	}
-	pos, err := xbar.New(xc, src.Split())
+	pos, err := hw.New(cfg.Backend, xc, src.Split())
 	if err != nil {
 		return nil, err
 	}
-	neg, err := xbar.New(xc, src.Split())
+	neg, err := hw.New(cfg.Backend, xc, src.Split())
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +214,7 @@ func (n *NCS) Invalidate() {
 // ProgramWeights encodes and programs a logical weight matrix (Inputs x
 // Outputs) into both arrays through the current row map. Unmapped
 // (redundant) rows are driven to HRS.
-func (n *NCS) ProgramWeights(w *mat.Matrix, opts xbar.ProgramOptions) error {
+func (n *NCS) ProgramWeights(w *mat.Matrix, opts hw.ProgramOptions) error {
 	if w.Rows != n.cfg.Inputs || w.Cols != n.cfg.Outputs {
 		return errors.New("ncs: weight matrix dimension mismatch")
 	}
@@ -342,7 +355,7 @@ func (n *NCS) Evaluate(set *dataset.Set) (float64, error) {
 // VerifyOutcome pairs the per-array verify reports of one
 // ProgramWeightsVerify pass on a crossbar pair.
 type VerifyOutcome struct {
-	Pos, Neg xbar.VerifyReport
+	Pos, Neg hw.VerifyReport
 }
 
 // Failed returns the total number of cells, across both arrays, that did
@@ -369,7 +382,7 @@ func (n *NCS) FailedMapped(o VerifyOutcome) int {
 	}
 	cols := n.cfg.Outputs
 	count := 0
-	for _, rep := range []xbar.VerifyReport{o.Pos, o.Neg} {
+	for _, rep := range []hw.VerifyReport{o.Pos, o.Neg} {
 		if len(rep.Verdicts) != n.PhysRows()*cols {
 			continue
 		}
@@ -378,7 +391,7 @@ func (n *NCS) FailedMapped(o VerifyOutcome) int {
 				continue
 			}
 			for j := 0; j < cols; j++ {
-				if rep.Verdicts[q*cols+j] != xbar.VerdictConverged {
+				if rep.Verdicts[q*cols+j] != hw.VerdictConverged {
 					count++
 				}
 			}
@@ -395,7 +408,7 @@ func (n *NCS) FailedMapped(o VerifyOutcome) int {
 // reprogramming step of the fault-repair pipeline. The returned outcome
 // carries both arrays' verify reports (worst residual, per-cell
 // verdicts, give-up counts).
-func (n *NCS) ProgramWeightsVerify(w *mat.Matrix, vopts xbar.VerifyOptions) (VerifyOutcome, error) {
+func (n *NCS) ProgramWeightsVerify(w *mat.Matrix, vopts hw.VerifyOptions) (VerifyOutcome, error) {
 	var out VerifyOutcome
 	if w.Rows != n.cfg.Inputs || w.Cols != n.cfg.Outputs {
 		return out, errors.New("ncs: weight matrix dimension mismatch")
@@ -414,29 +427,48 @@ func (n *NCS) ProgramWeightsVerify(w *mat.Matrix, vopts xbar.VerifyOptions) (Ver
 	return out, nil
 }
 
-// InitDrift initializes retention drift on both arrays (see
-// xbar.InitDrift). The two arrays draw independent drift populations.
+// InitDrift initializes retention drift on both arrays. The two arrays
+// draw independent drift populations. It errors when the configured
+// backend does not model retention drift (hw.Ager).
 func (n *NCS) InitDrift(model device.DriftModel, src *rng.Source) error {
 	if src == nil {
 		return errors.New("ncs: nil rng source")
 	}
-	if err := n.Pos.InitDrift(model, src.Split()); err != nil {
+	pos, neg, err := n.agers()
+	if err != nil {
 		return err
 	}
-	return n.Neg.InitDrift(model, src.Split())
+	if err := pos.InitDrift(model, src.Split()); err != nil {
+		return err
+	}
+	return neg.InitDrift(model, src.Split())
 }
 
 // AgeTo advances both arrays to absolute time t and invalidates the
 // cached read map.
 func (n *NCS) AgeTo(t float64) error {
-	if err := n.Pos.AgeTo(t); err != nil {
+	pos, neg, err := n.agers()
+	if err != nil {
 		return err
 	}
-	if err := n.Neg.AgeTo(t); err != nil {
+	if err := pos.AgeTo(t); err != nil {
+		return err
+	}
+	if err := neg.AgeTo(t); err != nil {
 		return err
 	}
 	n.Invalidate()
 	return nil
+}
+
+// agers asserts the retention-drift capability on both arrays.
+func (n *NCS) agers() (hw.Ager, hw.Ager, error) {
+	pos, ok := n.Pos.(hw.Ager)
+	neg, ok2 := n.Neg.(hw.Ager)
+	if !ok || !ok2 {
+		return nil, nil, fmt.Errorf("ncs: backend %v does not model retention drift", n.cfg.Backend)
+	}
+	return pos, neg, nil
 }
 
 // DecodedWeights reads back the logical weight matrix currently

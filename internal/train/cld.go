@@ -7,10 +7,10 @@ import (
 	"vortex/internal/adc"
 	"vortex/internal/dataset"
 	"vortex/internal/device"
+	"vortex/internal/hw"
 	"vortex/internal/mat"
 	"vortex/internal/ncs"
 	"vortex/internal/rng"
-	"vortex/internal/xbar"
 )
 
 // CLDConfig controls close-loop on-device training.
@@ -179,7 +179,7 @@ func CLD(n *ncs.NCS, set *dataset.Set, cfg CLDConfig, src *rng.Source) (*Result,
 
 		// Translate the accumulated gradient into differential pulses.
 		step := cfg.Rate / float64(set.Len())
-		var pPos, pNeg []xbar.CellPulse
+		var pPos, pNeg []hw.CellPulse
 		minDg := cfg.MinDelta * span
 		for i := 0; i < inputs; i++ {
 			phys := rowMap[i]
@@ -192,10 +192,10 @@ func CLD(n *ncs.NCS, set *dataset.Set, cfg CLDConfig, src *rng.Source) (*Result,
 				// array, respecting the device range.
 				dg := dw * span / (2 * codec.WMax)
 				if up := pulseFor(model, gp, i, j, dg, minDg, codec.GOff, codec.GOn); up != nil {
-					pPos = append(pPos, xbar.CellPulse{Row: phys, Col: j, Pulse: *up})
+					pPos = append(pPos, hw.CellPulse{Row: phys, Col: j, Pulse: *up})
 				}
 				if up := pulseFor(model, gn, i, j, -dg, minDg, codec.GOff, codec.GOn); up != nil {
-					pNeg = append(pNeg, xbar.CellPulse{Row: phys, Col: j, Pulse: *up})
+					pNeg = append(pNeg, hw.CellPulse{Row: phys, Col: j, Pulse: *up})
 				}
 			}
 		}
@@ -203,10 +203,10 @@ func CLD(n *ncs.NCS, set *dataset.Set, cfg CLDConfig, src *rng.Source) (*Result,
 			break // converged: nothing left to program
 		}
 		// CLD does not pre-compensate IR-drop — that is its weakness.
-		if err := n.Pos.ProgramBatch(pPos, xbar.ProgramOptions{}); err != nil {
+		if err := n.Pos.ProgramBatch(pPos, hw.ProgramOptions{}); err != nil {
 			return nil, err
 		}
-		if err := n.Neg.ProgramBatch(pNeg, xbar.ProgramOptions{}); err != nil {
+		if err := n.Neg.ProgramBatch(pNeg, hw.ProgramOptions{}); err != nil {
 			return nil, err
 		}
 		n.Invalidate()

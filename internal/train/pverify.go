@@ -5,10 +5,10 @@ import (
 
 	"vortex/internal/adc"
 	"vortex/internal/dataset"
+	"vortex/internal/hw"
 	"vortex/internal/ncs"
 	"vortex/internal/opt"
 	"vortex/internal/rng"
-	"vortex/internal/xbar"
 )
 
 // PVConfig controls program-and-verify training: software GDT followed by
@@ -55,8 +55,8 @@ func PV(n *ncs.NCS, set *dataset.Set, cfg PVConfig, src *rng.Source) (*Result, e
 		}
 		chain = adc.NewSenseChain(conv, 1, nil)
 	}
-	vopts := xbar.VerifyOptions{
-		Program: xbar.ProgramOptions{CompensateIR: cfg.CompensateIR},
+	vopts := hw.VerifyOptions{
+		Program: hw.ProgramOptions{CompensateIR: cfg.CompensateIR},
 		Chain:   chain,
 		MaxIter: cfg.MaxIter,
 		TolLog:  cfg.TolLog,

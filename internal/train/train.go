@@ -20,12 +20,12 @@ import (
 	"errors"
 
 	"vortex/internal/dataset"
+	"vortex/internal/hw"
 	"vortex/internal/mat"
 	"vortex/internal/ncs"
 	"vortex/internal/opt"
 	"vortex/internal/rng"
 	"vortex/internal/stats"
-	"vortex/internal/xbar"
 )
 
 // Result reports a completed hardware training run.
@@ -72,7 +72,7 @@ func OLD(n *ncs.NCS, set *dataset.Set, cfg OLDConfig, src *rng.Source) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	if err := n.ProgramWeights(w, xbar.ProgramOptions{CompensateIR: cfg.CompensateIR}); err != nil {
+	if err := n.ProgramWeights(w, hw.ProgramOptions{CompensateIR: cfg.CompensateIR}); err != nil {
 		return nil, err
 	}
 	tr, err := n.Evaluate(set)
@@ -90,7 +90,7 @@ func VATProgram(n *ncs.NCS, set *dataset.Set, gamma, sigma, confidence float64, 
 	if err != nil {
 		return nil, err
 	}
-	if err := n.ProgramWeights(w, xbar.ProgramOptions{CompensateIR: true}); err != nil {
+	if err := n.ProgramWeights(w, hw.ProgramOptions{CompensateIR: true}); err != nil {
 		return nil, err
 	}
 	tr, err := n.Evaluate(set)

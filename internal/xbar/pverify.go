@@ -5,105 +5,27 @@ import (
 	"fmt"
 	"math"
 
-	"vortex/internal/adc"
 	"vortex/internal/device"
+	"vortex/internal/hw"
 	"vortex/internal/mat"
 )
 
-// VerifyOptions controls program-and-verify array programming.
-type VerifyOptions struct {
-	Program ProgramOptions  // options for the underlying pulses
-	Chain   *adc.SenseChain // per-cell sense path; nil = ideal
-	Vread   float64         // cell read voltage during verify; default 1 V
-	MaxIter int             // correction rounds per cell; default 5
-	TolLog  float64         // acceptance band on |ln(R/Rt)|; default 0.05
-
-	// Patience bounds the retries spent on a cell that is not getting
-	// closer to its target: after this many consecutive non-improving
-	// correction rounds the cell is abandoned with VerdictStuck instead
-	// of burning the rest of the MaxIter budget. Stuck-at, open and
-	// wear-collapsed devices exit after Patience rounds; oscillating
-	// cells (e.g. at a coarse sense ADC's quantization floor) likewise.
-	// Default 2; negative disables the guard.
-	Patience int
-}
-
-func (o VerifyOptions) withDefaults() VerifyOptions {
-	if o.Chain == nil {
-		o.Chain = adc.Ideal()
-	}
-	if o.Vread <= 0 {
-		o.Vread = 1
-	}
-	if o.MaxIter <= 0 {
-		o.MaxIter = 5
-	}
-	if o.TolLog <= 0 {
-		o.TolLog = 0.05
-	}
-	if o.Patience == 0 {
-		o.Patience = 2
-	}
-	return o
-}
+// VerifyOptions controls program-and-verify array programming; see
+// hw.VerifyOptions for the field documentation.
+type VerifyOptions = hw.VerifyOptions
 
 // CellVerdict classifies the outcome of the per-cell verify loop.
-type CellVerdict uint8
+type CellVerdict = hw.CellVerdict
 
+// Re-exported verdict values; see hw for documentation.
 const (
-	// VerdictConverged means the cell landed within TolLog of its target.
-	VerdictConverged CellVerdict = iota
-	// VerdictExhausted means the cell spent the full MaxIter budget while
-	// still improving, but ended outside the tolerance band.
-	VerdictExhausted
-	// VerdictStuck means the loop gave up early: Patience consecutive
-	// correction rounds produced no residual improvement (a stuck-at,
-	// open or wear-collapsed device, or an unreachable target).
-	VerdictStuck
+	VerdictConverged = hw.VerdictConverged
+	VerdictExhausted = hw.VerdictExhausted
+	VerdictStuck     = hw.VerdictStuck
 )
 
-// String implements fmt.Stringer.
-func (v CellVerdict) String() string {
-	switch v {
-	case VerdictConverged:
-		return "converged"
-	case VerdictExhausted:
-		return "exhausted"
-	case VerdictStuck:
-		return "stuck"
-	default:
-		return fmt.Sprintf("CellVerdict(%d)", uint8(v))
-	}
-}
-
-// VerifyReport summarizes a ProgramVerify pass. Worst is the largest
-// remaining |ln(Robs/Rt)| across the array; the counters partition the
-// cells by verdict so callers can distinguish "everything converged"
-// from "some cells gave up" — the distinction the repair pipeline keys
-// on. Verdicts holds the per-cell outcome in row-major order.
-type VerifyReport struct {
-	Worst     float64       // worst remaining |ln(Robs/Rt)|
-	Converged int           // cells within TolLog
-	Exhausted int           // cells that ran out of MaxIter
-	Stuck     int           // cells abandoned early by the Patience guard
-	Verdicts  []CellVerdict // per-cell verdicts, row-major
-}
-
-// Failed returns the number of cells that did not converge.
-func (r VerifyReport) Failed() int { return r.Exhausted + r.Stuck }
-
-// Merge folds another report into this one (used to combine the
-// positive and negative arrays of a crossbar pair). Verdict slices are
-// not concatenated — per-cell geometry differs between arrays — so
-// Merge keeps only the counters and the worst residual.
-func (r *VerifyReport) Merge(other VerifyReport) {
-	if other.Worst > r.Worst {
-		r.Worst = other.Worst
-	}
-	r.Converged += other.Converged
-	r.Exhausted += other.Exhausted
-	r.Stuck += other.Stuck
-}
+// VerifyReport summarizes a ProgramVerify pass; see hw.VerifyReport.
+type VerifyReport = hw.VerifyReport
 
 // ProgramVerify programs the whole array to the target resistances with a
 // per-cell program-and-verify loop: after each pulse the cell is read
@@ -128,7 +50,7 @@ func (x *Crossbar) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (Verif
 	if targets.Rows != x.cfg.Rows || targets.Cols != x.cfg.Cols {
 		return rep, errors.New("xbar: target matrix dimension mismatch")
 	}
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	model := x.cfg.Model
 	rep.Verdicts = make([]CellVerdict, x.cfg.Rows*x.cfg.Cols)
 	senseLogR := func(cell *device.Memristor) float64 {

@@ -1,25 +1,10 @@
 package xbar
 
-// ProgramStats accumulates the hardware cost of programming operations on
-// a crossbar — the quantities behind the paper's motivation that OLD
-// needs one cheap pass while CLD pays for many program-and-sense
-// iterations (Sec. 1, Sec. 4).
-type ProgramStats struct {
-	Batches    int     // programming batches issued
-	Pulses     int     // individual cell pulses applied
-	PulseTime  float64 // summed pulse widths [s]
-	Energy     float64 // estimated selected-cell programming energy [J]
-	HalfSelect float64 // summed half-select exposure [cell*s], when disturb is modeled
-}
+import "vortex/internal/hw"
 
-// Add accumulates other into s.
-func (s *ProgramStats) Add(other ProgramStats) {
-	s.Batches += other.Batches
-	s.Pulses += other.Pulses
-	s.PulseTime += other.PulseTime
-	s.Energy += other.Energy
-	s.HalfSelect += other.HalfSelect
-}
+// ProgramStats accumulates the hardware cost of programming operations
+// on a crossbar; see hw.ProgramStats for the field documentation.
+type ProgramStats = hw.ProgramStats
 
 // Stats returns the accumulated programming cost since fabrication or the
 // last ResetStats.

@@ -20,40 +20,29 @@ import (
 
 	"vortex/internal/adc"
 	"vortex/internal/device"
+	"vortex/internal/hw"
 	"vortex/internal/irdrop"
 	"vortex/internal/mat"
 	"vortex/internal/rng"
 )
 
-// Config describes a crossbar instance.
-type Config struct {
-	Rows, Cols int
-	Model      device.SwitchModel
-	RWire      float64 // per-segment wire resistance [Ohm]; 0 = ideal wires
-	Sigma      float64 // lognormal parametric variation (device-to-device)
-	SigmaCycle float64 // cycle-to-cycle switching variation; usually << Sigma
-	DefectRate float64 // probability of a stuck-at cell (split evenly LRS/HRS)
-	Disturb    bool    // model half-select disturb during programming
-}
+// Config describes a crossbar instance. It is the shared hardware-layer
+// configuration type; see hw.Config for the field documentation.
+type Config = hw.Config
 
-// Validate checks the configuration.
-func (c Config) Validate() error {
-	if c.Rows <= 0 || c.Cols <= 0 {
-		return errors.New("xbar: non-positive dimensions")
-	}
-	if err := c.Model.Validate(); err != nil {
-		return err
-	}
-	if c.RWire < 0 {
-		return errors.New("xbar: negative wire resistance")
-	}
-	if c.Sigma < 0 || c.SigmaCycle < 0 {
-		return errors.New("xbar: negative variation sigma")
-	}
-	if c.DefectRate < 0 || c.DefectRate >= 1 {
-		return errors.New("xbar: defect rate out of [0,1)")
-	}
-	return nil
+// The crossbar is the reference (circuit) implementation of the
+// hardware-abstraction layer and registers itself as hw.Circuit.
+var (
+	_ hw.Array          = (*Crossbar)(nil)
+	_ hw.Ager           = (*Crossbar)(nil)
+	_ hw.DefectAccessor = (*Crossbar)(nil)
+	_ hw.CellAccessor   = (*Crossbar)(nil)
+)
+
+func init() {
+	hw.Register(hw.Circuit, func(cfg hw.Config, src *rng.Source) (hw.Array, error) {
+		return New(cfg, src)
+	})
 }
 
 // Crossbar is a fabricated array of memristors. Fabrication draws each
@@ -114,6 +103,13 @@ func (x *Crossbar) Cell(i, j int) *device.Memristor {
 	return &x.cells[i*x.cfg.Cols+j]
 }
 
+// Defect returns the defect state of the device at (i, j).
+func (x *Crossbar) Defect(i, j int) device.DefectKind { return x.Cell(i, j).Defect }
+
+// SetDefect converts the device at (i, j) to the given defect state
+// (the fault-injection capability of the hardware layer).
+func (x *Crossbar) SetDefect(i, j int, k device.DefectKind) { x.Cell(i, j).Defect = k }
+
 // Conductances returns the observable conductance matrix (including
 // parametric variation and defects).
 func (x *Crossbar) Conductances() *mat.Matrix {
@@ -155,21 +151,10 @@ func (x *Crossbar) EffectiveWeights() (*mat.Matrix, error) {
 }
 
 // CellPulse addresses one device with a pre-computed pulse.
-type CellPulse struct {
-	Row, Col int
-	Pulse    device.Pulse
-}
+type CellPulse = hw.CellPulse
 
 // ProgramOptions control a programming pass.
-type ProgramOptions struct {
-	// CompensateIR pre-solves the delivered voltage at each selected cell
-	// and stretches the pulse width so the nominal target is hit despite
-	// IR-drop (the compensation technique of paper reference [10], which
-	// OLD and Vortex use). Without it the raw pulse is applied at the
-	// degraded voltage — the CLD situation, where Eq. (2)'s beta and D
-	// effects emerge.
-	CompensateIR bool
-}
+type ProgramOptions = hw.ProgramOptions
 
 // ProgramBatch applies a batch of cell pulses under the V/2 scheme.
 // Delivered voltages are degraded by the IR-drop network (solved against
