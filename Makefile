@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench fuzz experiments fmt vet clean
+.PHONY: all build test test-short race bench bench-json fuzz experiments fmt vet clean
 
 all: build test
 
@@ -17,6 +17,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
+	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/hw/
 	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep|TestRegistry|TestRunners'
 	$(GO) test -race ./internal/fault/
@@ -27,6 +28,11 @@ bench:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 	$(GO) test -bench=. -benchmem -benchtime=1x -timeout 7200s . 2>&1 | tee bench_output.txt
 	$(GO) test -bench=BenchmarkBackend -benchmem ./internal/hw/ 2>&1 | tee -a bench_output.txt
+
+# Machine-readable perf record: read-path ns/op on both backends plus
+# the instrumentation layer's measured overhead (BENCH_pr3.json).
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_pr3.json
 
 # Short fuzz sessions over the quantizer and the device dynamics.
 fuzz:

@@ -8,18 +8,42 @@
 //	vortexsim -list
 //	vortexsim -exp fig2 [-scale quick|default|full] [-seed N] [-timeout D]
 //	vortexsim -exp all -scale default
+//
+// Observability:
+//
+//	-v / -log-level   structured logs (per-phase spans, live progress)
+//	-log-format json  machine-readable log stream
+//	-metrics FILE     write the final metrics snapshot as JSON
+//	-pprof ADDR       serve net/http/pprof and expvar for live profiling
+//
+// Exit codes: 0 success, 1 driver failure, 2 usage error, 124 the
+// -timeout deadline expired, 130 interrupted by Ctrl-C.
 package main
 
 import (
 	"context"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	"vortex/internal/experiment"
+	"vortex/internal/obs"
+)
+
+const (
+	exitOK        = 0
+	exitFailure   = 1
+	exitUsage     = 2
+	exitTimeout   = 124 // convention of timeout(1)
+	exitInterrupt = 130 // 128 + SIGINT
 )
 
 func main() {
@@ -28,14 +52,59 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or all")
-		scale   = flag.String("scale", "default", "experiment scale: quick, default or full")
-		seed    = flag.Uint64("seed", 42, "random seed")
-		list    = flag.Bool("list", false, "list available experiments")
-		csv     = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
-		timeout = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		exp       = flag.String("exp", "", "experiment id (see -list), or all")
+		scale     = flag.String("scale", "default", "experiment scale: quick, default or full")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		list      = flag.Bool("list", false, "list available experiments")
+		csv       = flag.Bool("csv", false, "emit comma-separated values instead of text tables")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		verbose   = flag.Bool("v", false, "verbose: shorthand for -log-level debug")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		metrics   = flag.String("metrics", "", "write the final metrics-registry snapshot as JSON to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
+	}
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	log, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitUsage
+	}
+	obs.SetLogger(log)
+
+	// Live progress from the Monte-Carlo fan-outs, throttled inside the
+	// experiment package.
+	experiment.SetProgress(func(done, total int, eta time.Duration) {
+		if done < total {
+			log.Info("progress", "done", done, "total", total, "eta", eta.Round(time.Second))
+		} else {
+			log.Debug("progress", "done", done, "total", total)
+		}
+	})
+
+	if *pprofAddr != "" {
+		// Expose the metrics registry next to the standard pprof and
+		// expvar endpoints so a long full-scale sweep can be inspected
+		// live: /debug/pprof/, /debug/vars.
+		expvar.Publish("vortex_metrics", expvar.Func(func() any {
+			return obs.Default().Snapshot()
+		}))
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Error("pprof server failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+	}
 
 	runners := experiment.Runners()
 
@@ -45,12 +114,12 @@ func run() int {
 			fmt.Printf("  %-9s %s\n", r.Name, r.Description)
 		}
 		fmt.Println("  all       run everything")
-		return 0
+		return exitOK
 	}
 	sc, err := experiment.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 2
+		return exitUsage
 	}
 
 	var toRun []experiment.Runner
@@ -63,7 +132,7 @@ func run() int {
 			if close := experiment.Closest(*exp, 3); len(close) > 0 {
 				fmt.Fprintf(os.Stderr, "did you mean: %s\n", strings.Join(close, ", "))
 			}
-			return 2
+			return exitUsage
 		}
 		toRun = []experiment.Runner{r}
 	}
@@ -87,13 +156,18 @@ func run() int {
 		defer cancel()
 	}
 
+	wallStart := time.Now()
+	code := exitOK
 	for _, r := range toRun {
 		fmt.Printf("== %s (scale=%s, seed=%d)\n", r.Description, sc, *seed)
 		start := time.Now()
 		res, err := r.Run(ctx, sc, *seed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.Name, err)
-			return 1
+			code = abortCode(err, ctx, *timeout, time.Since(wallStart), log)
+			if code == exitFailure {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.Name, err)
+			}
+			break
 		}
 		if *csv {
 			fmt.Print(res.CSV())
@@ -102,5 +176,52 @@ func run() int {
 		}
 		fmt.Printf("[%s in %v]\n\n", r.Name, time.Since(start).Round(time.Millisecond))
 	}
-	return 0
+	if code == exitOK {
+		log.Info("run complete", "experiments", len(toRun), "elapsed", time.Since(wallStart).Round(time.Millisecond))
+	}
+
+	// The snapshot is written even after a timeout or interrupt: the
+	// partial counters are often exactly what the user aborted to see.
+	if *metrics != "" {
+		if err := writeMetrics(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == exitOK {
+				code = exitFailure
+			}
+		} else {
+			log.Info("metrics snapshot written", "file", *metrics)
+		}
+	}
+	return code
+}
+
+// abortCode classifies a run-ending error: the -timeout deadline and a
+// Ctrl-C interrupt are reported distinctly (message and exit code),
+// both with the elapsed wall time; anything else is a driver failure.
+func abortCode(err error, ctx context.Context, timeout, elapsed time.Duration, log *slog.Logger) int {
+	rounded := elapsed.Round(time.Millisecond)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "vortexsim: timed out after %v (-timeout %v)\n", rounded, timeout)
+		log.Warn("run timed out", "timeout", timeout, "elapsed", rounded)
+		return exitTimeout
+	case errors.Is(err, context.Canceled) || errors.Is(ctx.Err(), context.Canceled):
+		fmt.Fprintf(os.Stderr, "vortexsim: interrupted after %v\n", rounded)
+		log.Warn("run interrupted", "elapsed", rounded)
+		return exitInterrupt
+	default:
+		return exitFailure
+	}
+}
+
+// writeMetrics dumps the default-registry snapshot as indented JSON.
+func writeMetrics(path string) error {
+	raw, err := obs.Default().Snapshot().JSON()
+	if err != nil {
+		return fmt.Errorf("vortexsim: encoding metrics snapshot: %w", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("vortexsim: writing metrics snapshot: %w", err)
+	}
+	return nil
 }

@@ -4,7 +4,57 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"vortex/internal/obs"
 )
+
+// Live-progress reporting for the Monte-Carlo fan-outs. A front end
+// installs one sink process-wide (SetProgress); every parallelMap then
+// reports trials-completed/total with an ETA through it, throttled to
+// progressEvery per sweep. With no sink installed (the default, and the
+// state every test runs in unless it opts in) reporting is disabled and
+// costs one atomic pointer load per sweep.
+var (
+	progressSink  atomic.Pointer[obs.ProgressFunc]
+	progressEvery atomic.Int64 // throttle interval [ns]
+)
+
+func init() { progressEvery.Store(int64(500 * time.Millisecond)) }
+
+// SetProgress installs fn as the process-wide progress sink (nil
+// removes it) and returns the previous sink. Reports are throttled,
+// monotonic per sweep, and stop when a sweep fails or is canceled.
+func SetProgress(fn obs.ProgressFunc) obs.ProgressFunc {
+	var prev *obs.ProgressFunc
+	if fn == nil {
+		prev = progressSink.Swap(nil)
+	} else {
+		prev = progressSink.Swap(&fn)
+	}
+	if prev == nil {
+		return nil
+	}
+	return *prev
+}
+
+// SetProgressInterval adjusts the report throttle (default 500ms) and
+// returns the previous interval; non-positive means report on every
+// completed trial (used by tests).
+func SetProgressInterval(d time.Duration) time.Duration {
+	return time.Duration(progressEvery.Swap(int64(d)))
+}
+
+// newProgress builds the per-sweep tracker, nil when no sink is
+// installed.
+func newProgress(n int) *obs.Progress {
+	fn := progressSink.Load()
+	if fn == nil {
+		return nil
+	}
+	return obs.NewProgress(n, time.Duration(progressEvery.Load()), *fn)
+}
 
 // parallelMap evaluates fn(0..n-1) concurrently on up to GOMAXPROCS
 // workers and returns the results in index order. Every fn call must be
@@ -23,6 +73,7 @@ func parallelMap[T any](ctx context.Context, n int, fn func(i int) (T, error)) (
 	if n == 0 {
 		return out, ctx.Err()
 	}
+	progress := newProgress(n)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -37,7 +88,9 @@ func parallelMap[T any](ctx context.Context, n int, fn func(i int) (T, error)) (
 				return nil, err
 			}
 			out[i] = v
+			progress.Add(1)
 		}
+		progress.Finish()
 		return out, nil
 	}
 	// A private cancel scope lets the first error stop the dispatch loop
@@ -72,6 +125,7 @@ func parallelMap[T any](ctx context.Context, n int, fn func(i int) (T, error)) (
 					continue
 				}
 				out[i] = v
+				progress.Add(1)
 			}
 		}()
 	}
@@ -91,6 +145,9 @@ dispatch:
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Only a fully successful sweep emits the final tick; failed and
+	// canceled sweeps go quiet instead of reporting a stale count.
+	progress.Finish()
 	return out, nil
 }
 

@@ -3,10 +3,141 @@ package experiment
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// progressRecorder captures sink calls for the progress tests.
+type progressRecorder struct {
+	mu    sync.Mutex
+	calls []int
+}
+
+func (p *progressRecorder) sink(done, total int, eta time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls = append(p.calls, done)
+}
+
+func (p *progressRecorder) snapshot() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]int(nil), p.calls...)
+}
+
+// installProgress wires a recorder into the package sink for one test
+// and restores the previous state afterwards.
+func installProgress(t *testing.T, every time.Duration) *progressRecorder {
+	t.Helper()
+	rec := &progressRecorder{}
+	prevSink := SetProgress(rec.sink)
+	prevEvery := SetProgressInterval(every)
+	t.Cleanup(func() {
+		SetProgress(prevSink)
+		SetProgressInterval(prevEvery)
+	})
+	return rec
+}
+
+func TestParallelMapProgressMonotonicAndComplete(t *testing.T) {
+	rec := installProgress(t, 0) // report every completion
+	n := 500
+	if _, err := parallelMap(context.Background(), n, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	calls := rec.snapshot()
+	if len(calls) == 0 {
+		t.Fatal("no progress reports")
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i] < calls[i-1] {
+			t.Fatalf("non-monotonic progress: %d after %d", calls[i], calls[i-1])
+		}
+	}
+	if last := calls[len(calls)-1]; last != n {
+		t.Fatalf("final progress report = %d, want %d", last, n)
+	}
+}
+
+func TestParallelMapProgressThrottled(t *testing.T) {
+	rec := installProgress(t, time.Hour) // throttle never elapses mid-run
+	n := 2000
+	if _, err := parallelMap(context.Background(), n, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Only the unthrottled completion tick may appear.
+	if calls := rec.snapshot(); len(calls) != 1 || calls[0] != n {
+		t.Fatalf("calls = %v, want exactly [%d]", calls, n)
+	}
+}
+
+func TestParallelMapProgressSilentWithoutSink(t *testing.T) {
+	// No sink installed (the default): the sweep must run normally and
+	// newProgress must report nothing — this is the nil-sink path.
+	prev := SetProgress(nil)
+	t.Cleanup(func() { SetProgress(prev) })
+	if p := newProgress(10); p != nil {
+		t.Fatal("newProgress should be nil without a sink")
+	}
+	if _, err := parallelMap(context.Background(), 100, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMapProgressStopsOnCancel(t *testing.T) {
+	rec := installProgress(t, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Bool
+	n := 10000
+	_, err := parallelMap(ctx, n, func(i int) (int, error) {
+		if started.CompareAndSwap(false, true) {
+			cancel()
+			close(release)
+		}
+		<-release
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// parallelMap has returned, so every worker has exited: whatever was
+	// reported is all there will ever be, and the canceled sweep must
+	// not have claimed completion.
+	calls := rec.snapshot()
+	for _, c := range calls {
+		if c >= n {
+			t.Fatalf("canceled sweep reported completion: %v", calls)
+		}
+	}
+	before := len(calls)
+	time.Sleep(10 * time.Millisecond)
+	if after := len(rec.snapshot()); after != before {
+		t.Fatalf("progress reports kept arriving after cancellation: %d -> %d", before, after)
+	}
+}
+
+func TestParallelMapProgressStopsOnError(t *testing.T) {
+	rec := installProgress(t, 0)
+	boom := errors.New("boom")
+	n := 100000
+	_, err := parallelMap(context.Background(), n, func(i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	for _, c := range rec.snapshot() {
+		if c >= n {
+			t.Fatal("failed sweep reported completion")
+		}
+	}
+}
 
 func TestParallelMapOrdersResults(t *testing.T) {
 	out, err := parallelMap(context.Background(), 100, func(i int) (int, error) { return i * i, nil })

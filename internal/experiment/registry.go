@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"vortex/internal/obs"
 )
 
 // Result is the common surface of every experiment result: both text
@@ -34,18 +37,61 @@ var (
 	registry = map[string]Runner{}
 )
 
+// RunResult decorates a driver's Result with the run's observability
+// artifacts: the wall-clock duration and a snapshot of the default
+// metrics registry taken when the run finished. Front ends that only
+// care about the tables keep using the Result methods; ones that want
+// the numbers behind the run (the -metrics flag, tests, dashboards)
+// type-assert to *RunResult.
+type RunResult struct {
+	Result
+	// Elapsed is the runner's wall-clock duration.
+	Elapsed time.Duration
+	// Metrics is the default-registry snapshot at completion. Counters
+	// accumulate across runs in one process; diff two snapshots to
+	// isolate a single run.
+	Metrics obs.Snapshot
+}
+
+// Unwrap returns the driver's undecorated result.
+func (r *RunResult) Unwrap() Result { return r.Result }
+
 // register adds a runner to the registry; driver files call it from
 // init, so duplicate or malformed registrations are programmer errors.
+// Every runner is wrapped in a timing span ("experiment.<name>") with
+// start/finish log records, and its Result is decorated into a
+// *RunResult carrying a metrics snapshot.
 func register(r Runner) {
 	if r.Name == "" || r.Run == nil {
 		panic("experiment: register needs a name and a run function")
 	}
+	r.Run = instrumentRun(r.Name, r.Run)
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := registry[r.Name]; dup {
 		panic(fmt.Sprintf("experiment: duplicate runner %q", r.Name))
 	}
 	registry[r.Name] = r
+}
+
+// instrumentRun wraps a driver entry point with the span, logging and
+// result decoration every registered experiment gets.
+func instrumentRun(name string, run func(context.Context, Scale, uint64) (Result, error)) func(context.Context, Scale, uint64) (Result, error) {
+	return func(ctx context.Context, scale Scale, seed uint64) (Result, error) {
+		log := obs.Logger()
+		log.Info("experiment start", "exp", name, "scale", scale.String(), "seed", seed)
+		sp := obs.StartSpan("experiment." + name)
+		res, err := run(ctx, scale, seed)
+		elapsed := sp.End()
+		if err != nil {
+			obs.Default().Counter("experiment.failures").Inc()
+			log.Warn("experiment failed", "exp", name, "elapsed", elapsed, "err", err)
+			return nil, err
+		}
+		obs.Default().Counter("experiment.runs").Inc()
+		log.Info("experiment done", "exp", name, "elapsed", elapsed)
+		return &RunResult{Result: res, Elapsed: elapsed, Metrics: obs.Default().Snapshot()}, nil
+	}
 }
 
 // Lookup returns the runner registered under name.

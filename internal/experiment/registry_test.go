@@ -97,3 +97,39 @@ func TestRunnerProducesResult(t *testing.T) {
 		t.Error("fig3 should annotate its crossover")
 	}
 }
+
+// Registered runs come back decorated: a *RunResult carrying the span
+// duration and a metrics snapshot with the hardware counters the run
+// drove.
+func TestRunnerDecoratesResultWithMetrics(t *testing.T) {
+	r, ok := Lookup("fig2")
+	if !ok {
+		t.Fatal("fig2 not registered")
+	}
+	res, err := r.Run(context.Background(), Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, ok := res.(*RunResult)
+	if !ok {
+		t.Fatalf("registered run returned %T, want *RunResult", res)
+	}
+	if rr.Elapsed <= 0 {
+		t.Error("RunResult.Elapsed not positive")
+	}
+	if rr.Unwrap() == nil || rr.Unwrap().Table() == "" {
+		t.Error("Unwrap lost the driver result")
+	}
+	// fig2 at Quick scale runs on the circuit backend: reads and
+	// programming pulses must have been counted under that name, and the
+	// experiment span must be present.
+	if got := rr.Metrics.Counters["hw.circuit.reads"]; got == 0 {
+		t.Errorf("hw.circuit.reads = %d, want > 0 (counters: %v)", got, rr.Metrics.CounterNames())
+	}
+	if got := rr.Metrics.Counters["hw.circuit.pulses"]; got == 0 {
+		t.Errorf("hw.circuit.pulses = %d, want > 0", got)
+	}
+	if hs, ok := rr.Metrics.Histograms["span.experiment.fig2"]; !ok || hs.Count == 0 {
+		t.Errorf("span.experiment.fig2 missing from snapshot: %+v", hs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"vortex/internal/mapping"
 	"vortex/internal/mat"
 	"vortex/internal/ncs"
+	"vortex/internal/obs"
 )
 
 // Policy sets the knobs of the repair pipeline.
@@ -94,8 +95,22 @@ func Repair(n *ncs.NCS, w *mat.Matrix, pol Policy) (*Outcome, error) {
 		return nil, errors.New("fault: weight shape disagrees with NCS config")
 	}
 	pol = pol.withDefaults()
+	sp := obs.StartSpan("fault.repair")
+	reg := obs.Default()
 	out := &Outcome{RowMap: n.RowMap()}
 	prevDamage := math.Inf(1)
+	defer func() {
+		reg.Counter("fault.repair.rounds").Add(int64(out.Rounds))
+		if out.Remapped {
+			reg.Counter("fault.repair.remapped").Inc()
+		}
+		if out.Degraded {
+			reg.Counter("fault.repair.degraded").Inc()
+		}
+		d := sp.End()
+		obs.L().Debug("repair done", "rounds", out.Rounds, "damage", out.Damage,
+			"remapped", out.Remapped, "degraded", out.Degraded, "elapsed", d)
+	}()
 	for out.Rounds < pol.MaxRounds {
 		out.Rounds++
 		m, err := Scan(n, pol.Scan)

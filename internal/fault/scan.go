@@ -8,6 +8,7 @@ import (
 	"vortex/internal/hw"
 	"vortex/internal/mat"
 	"vortex/internal/ncs"
+	"vortex/internal/obs"
 )
 
 // CellHealth classifies one cell after a health scan.
@@ -177,6 +178,8 @@ func Scan(n *ncs.NCS, opts ScanOptions) (*Map, error) {
 	if opts.TargetHi <= opts.TargetLo {
 		return nil, errors.New("fault: scan targets must satisfy TargetLo < TargetHi")
 	}
+	defer obs.StartSpan("fault.scan").End()
+	obs.Default().Counter("fault.scans").Inc()
 	m := &Map{Rows: n.PhysRows(), Cols: n.Config().Outputs}
 	expected := math.Log(opts.TargetHi / opts.TargetLo)
 	codec := n.Codec()

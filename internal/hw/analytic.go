@@ -33,6 +33,7 @@ type AnalyticArray struct {
 	defect []device.DefectKind
 	src    *rng.Source
 	stats  ProgramStats
+	met    *Metrics
 
 	g *mat.Matrix // cached observable conductances; nil = dirty
 }
@@ -70,6 +71,7 @@ func NewAnalytic(cfg Config, src *rng.Source) (*AnalyticArray, error) {
 		theta:  make([]float64, n),
 		defect: make([]device.DefectKind, n),
 		src:    src,
+		met:    MetricsFor(Analytic.String()),
 	}
 	xmax := cfg.Model.XMax()
 	for i := 0; i < n; i++ {
@@ -142,7 +144,10 @@ func (a *AnalyticArray) Conductances() *mat.Matrix { return a.matrix().Clone() }
 // Read returns column currents for row voltages v: a single
 // matrix-vector product against the cached conductances.
 func (a *AnalyticArray) Read(v []float64) ([]float64, error) {
-	return a.matrix().MulVec(v), nil
+	start := a.met.Start()
+	out := a.matrix().MulVec(v)
+	a.met.ObserveRead(start)
+	return out, nil
 }
 
 // EffectiveWeights returns the exact linear read map — for ideal wires,
@@ -166,6 +171,8 @@ func (a *AnalyticArray) SetDefect(i, j int, k device.DefectKind) {
 // update, cycle-noise draw order and cost accounting mirror the circuit
 // backend exactly.
 func (a *AnalyticArray) ProgramBatch(pulses []CellPulse, opts ProgramOptions) error {
+	start := a.met.Start()
+	pulsesBefore := a.stats.Pulses
 	m, n := a.cfg.Rows, a.cfg.Cols
 	for _, cp := range pulses {
 		if cp.Row < 0 || cp.Row >= m || cp.Col < 0 || cp.Col >= n {
@@ -187,6 +194,7 @@ func (a *AnalyticArray) ProgramBatch(pulses []CellPulse, opts ProgramOptions) er
 	}
 	a.stats.Batches++
 	a.dirty()
+	a.met.ObserveProgram(start, a.stats.Pulses-pulsesBefore)
 	return nil
 }
 
@@ -332,6 +340,8 @@ func (a *AnalyticArray) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (
 	if targets.Rows != a.cfg.Rows || targets.Cols != a.cfg.Cols {
 		return rep, errors.New("hw: target matrix dimension mismatch")
 	}
+	vstart := a.met.Start()
+	iters := 0
 	opts = opts.WithDefaults()
 	model := a.cfg.Model
 	rep.Verdicts = make([]CellVerdict, a.cfg.Rows*a.cfg.Cols)
@@ -356,6 +366,7 @@ func (a *AnalyticArray) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (
 			stall := 0
 			verdict := VerdictConverged
 			for iter := 0; iter < opts.MaxIter && residual > opts.TolLog; iter++ {
+				iters++
 				verdict = VerdictExhausted
 				measured := senseLogR(idx)
 				thetaHat := measured - xEst // estimated offset (e^theta)
@@ -398,6 +409,7 @@ func (a *AnalyticArray) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (
 			}
 		}
 	}
+	a.met.ObserveVerify(vstart, targets.Rows*targets.Cols, iters)
 	return rep, nil
 }
 

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProgressFunc receives throttled progress reports: done of total units
+// complete, with a crude ETA extrapolated from the elapsed rate (0
+// until at least one unit finished).
+type ProgressFunc func(done, total int, eta time.Duration)
+
+// Progress tracks completion of a known number of units and forwards
+// throttled, monotonic reports to a sink. Add is safe for concurrent
+// use and costs one atomic add plus one atomic load between reports, so
+// parallel sweeps can call it per trial. A nil *Progress (which is what
+// NewProgress returns for a nil sink) is inert — callers never need to
+// branch on whether anyone is listening.
+type Progress struct {
+	total int64
+	every time.Duration
+	sink  ProgressFunc
+	start time.Time
+
+	done atomic.Int64
+	gate atomic.Int64 // unix nanos of the last report; claimed by CAS
+
+	mu       sync.Mutex
+	reported int64 // highest done value handed to the sink
+	finished bool
+}
+
+// NewProgress starts tracking total units, reporting to sink at most
+// once per every (a non-positive every reports on each Add). A nil sink
+// returns a nil tracker whose methods are no-ops.
+func NewProgress(total int, every time.Duration, sink ProgressFunc) *Progress {
+	if sink == nil {
+		return nil
+	}
+	p := &Progress{
+		total: int64(total),
+		every: every,
+		sink:  sink,
+		start: time.Now(),
+	}
+	p.gate.Store(p.start.UnixNano())
+	return p
+}
+
+// Add records n more completed units and emits a report if the throttle
+// interval has elapsed since the last one.
+func (p *Progress) Add(n int) {
+	if p == nil || n <= 0 {
+		return
+	}
+	p.done.Add(int64(n))
+	now := time.Now()
+	last := p.gate.Load()
+	if now.Sub(time.Unix(0, last)) < p.every {
+		return
+	}
+	// One goroutine wins the right to report this interval; losers just
+	// carry on.
+	if !p.gate.CompareAndSwap(last, now.UnixNano()) {
+		return
+	}
+	p.report(now, false)
+}
+
+// Finish emits one final report carrying the current count, bypassing
+// the throttle. Call it on successful completion only — a canceled or
+// failed sweep goes silent instead of emitting a misleading last tick.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.report(time.Now(), true)
+}
+
+// report forwards to the sink, keeping reports monotonic in done.
+func (p *Progress) report(now time.Time, final bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished {
+		return
+	}
+	done := p.done.Load()
+	if !final && done <= p.reported {
+		return
+	}
+	if final {
+		p.finished = true
+	}
+	p.reported = done
+	var eta time.Duration
+	if done > 0 && done < p.total {
+		elapsed := now.Sub(p.start)
+		eta = time.Duration(float64(elapsed) / float64(done) * float64(p.total-done))
+	}
+	p.sink(int(done), int(p.total), eta)
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector records every report a Progress hands out.
+type collector struct {
+	mu    sync.Mutex
+	dones []int
+}
+
+func (c *collector) fn(done, total int, eta time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dones = append(c.dones, done)
+}
+
+func (c *collector) snapshot() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int(nil), c.dones...)
+}
+
+func TestProgressNilSinkIsInert(t *testing.T) {
+	p := NewProgress(100, 0, nil)
+	if p != nil {
+		t.Fatal("nil sink should yield a nil tracker")
+	}
+	p.Add(1) // must not panic
+	p.Finish()
+}
+
+func TestProgressMonotonicUnderConcurrency(t *testing.T) {
+	var c collector
+	p := NewProgress(4000, 0, c.fn) // every report allowed
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	p.Finish()
+	dones := c.snapshot()
+	if len(dones) == 0 {
+		t.Fatal("no reports")
+	}
+	for i := 1; i < len(dones); i++ {
+		if dones[i] < dones[i-1] {
+			t.Fatalf("non-monotonic reports: %d after %d", dones[i], dones[i-1])
+		}
+	}
+	if last := dones[len(dones)-1]; last != 4000 {
+		t.Fatalf("final report = %d, want 4000", last)
+	}
+}
+
+func TestProgressThrottles(t *testing.T) {
+	var c collector
+	p := NewProgress(10000, time.Hour, c.fn) // throttle never elapses
+	for i := 0; i < 10000; i++ {
+		p.Add(1)
+	}
+	if got := len(c.snapshot()); got != 0 {
+		t.Fatalf("%d reports despite an unelapsed throttle", got)
+	}
+	p.Finish() // final report bypasses the throttle
+	if dones := c.snapshot(); len(dones) != 1 || dones[0] != 10000 {
+		t.Fatalf("final reports = %v, want [10000]", dones)
+	}
+}
+
+func TestProgressETA(t *testing.T) {
+	var etas []time.Duration
+	p := NewProgress(10, 0, func(done, total int, eta time.Duration) {
+		etas = append(etas, eta)
+	})
+	time.Sleep(2 * time.Millisecond)
+	p.Add(5)
+	p.Add(5)
+	p.Finish()
+	if len(etas) < 2 {
+		t.Fatalf("got %d reports, want at least 2", len(etas))
+	}
+	// Halfway through, ETA extrapolates roughly the elapsed time again.
+	if etas[0] <= 0 {
+		t.Errorf("midway ETA = %v, want > 0", etas[0])
+	}
+	// Reports at done == total carry no ETA.
+	if last := etas[len(etas)-1]; last != 0 {
+		t.Errorf("completion ETA = %v, want 0", last)
+	}
+}
+
+func TestProgressNoReportsAfterFinish(t *testing.T) {
+	var c collector
+	p := NewProgress(10, 0, c.fn)
+	p.Add(3)
+	p.Finish()
+	n := len(c.snapshot())
+	p.Add(3) // late stragglers must stay silent
+	p.Finish()
+	if got := len(c.snapshot()); got != n {
+		t.Fatalf("reports after Finish: %d -> %d", n, got)
+	}
+}

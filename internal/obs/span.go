@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Span is a named wall-clock timing region. Ending a span records its
+// duration (in nanoseconds) into the histogram "span.<name>" of the
+// registry it was started against and, when the logger emits Debug,
+// logs one structured record. A nil *Span is inert, so callers can
+// unconditionally defer End.
+type Span struct {
+	name  string
+	reg   *Registry
+	start time.Time
+	attrs []any
+}
+
+// StartSpan opens a span against the default registry. The variadic
+// attrs are slog key/value pairs attached to the completion record.
+// When instrumentation is disabled it returns nil without reading the
+// clock.
+func StartSpan(name string, attrs ...any) *Span {
+	return Default().StartSpan(name, attrs...)
+}
+
+// StartSpan opens a span against this registry.
+func (r *Registry) StartSpan(name string, attrs ...any) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return &Span{name: name, reg: r, start: time.Now(), attrs: attrs}
+}
+
+// End closes the span and returns its duration (0 for a nil span).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.Histogram("span." + s.name).RecordDuration(d)
+	if DebugEnabled() {
+		args := append([]any{slog.String("span", s.name), slog.Duration("elapsed", d)}, s.attrs...)
+		Logger().Debug("span end", args...)
+	}
+	return d
+}

@@ -10,6 +10,7 @@ import (
 	"vortex/internal/hw"
 	"vortex/internal/mat"
 	"vortex/internal/ncs"
+	"vortex/internal/obs"
 	"vortex/internal/rng"
 )
 
@@ -61,6 +62,7 @@ func CLD(n *ncs.NCS, set *dataset.Set, cfg CLDConfig, src *rng.Source) (*Result,
 	if src == nil {
 		return nil, errors.New("train: nil rng source")
 	}
+	defer obs.StartSpan("train.cld").End()
 	cfg = cfg.withDefaults()
 	ncfg := n.Config()
 	inputs, outputs := ncfg.Inputs, ncfg.Outputs
@@ -123,10 +125,16 @@ func CLD(n *ncs.NCS, set *dataset.Set, cfg CLDConfig, src *rng.Source) (*Result,
 		order[i] = i
 	}
 
+	reg := obs.Default()
+	epochCount := reg.Counter("train.cld.epochs")
+	pulseCount := reg.Counter("train.cld.pulses")
+
 	bestRate := -1.0
 	sinceBest := 0
 	epochsRun := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		sp := obs.StartSpan("train.cld.epoch")
+		epochCount.Inc()
 		epochsRun = epoch + 1
 		grad.Fill(0)
 		correct := 0
@@ -173,6 +181,8 @@ func CLD(n *ncs.NCS, set *dataset.Set, cfg CLDConfig, src *rng.Source) (*Result,
 			}
 			sinceBest++
 			if sinceBest >= cfg.Patience {
+				sp.End()
+				obs.L().Debug("cld stop", "reason", "patience", "epoch", epoch, "rate", rate)
 				break
 			}
 		}
@@ -200,6 +210,8 @@ func CLD(n *ncs.NCS, set *dataset.Set, cfg CLDConfig, src *rng.Source) (*Result,
 			}
 		}
 		if len(pPos) == 0 && len(pNeg) == 0 {
+			sp.End()
+			obs.L().Debug("cld stop", "reason", "converged", "epoch", epoch, "rate", rate)
 			break // converged: nothing left to program
 		}
 		// CLD does not pre-compensate IR-drop — that is its weakness.
@@ -210,6 +222,11 @@ func CLD(n *ncs.NCS, set *dataset.Set, cfg CLDConfig, src *rng.Source) (*Result,
 			return nil, err
 		}
 		n.Invalidate()
+		pulseCount.Add(int64(len(pPos) + len(pNeg)))
+		if d := sp.End(); obs.DebugEnabled() {
+			obs.L().Debug("cld epoch", "epoch", epoch, "rate", rate,
+				"pulses", len(pPos)+len(pNeg), "elapsed", d)
+		}
 	}
 
 	tr, err := n.Evaluate(set)

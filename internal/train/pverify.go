@@ -7,6 +7,7 @@ import (
 	"vortex/internal/dataset"
 	"vortex/internal/hw"
 	"vortex/internal/ncs"
+	"vortex/internal/obs"
 	"vortex/internal/opt"
 	"vortex/internal/rng"
 )
@@ -61,12 +62,18 @@ func PV(n *ncs.NCS, set *dataset.Set, cfg PVConfig, src *rng.Source) (*Result, e
 		MaxIter: cfg.MaxIter,
 		TolLog:  cfg.TolLog,
 	}
-	if _, err := n.Pos.ProgramVerify(pos, vopts); err != nil {
+	sp := obs.StartSpan("train.pv.program")
+	repPos, err := n.Pos.ProgramVerify(pos, vopts)
+	if err != nil {
 		return nil, err
 	}
-	if _, err := n.Neg.ProgramVerify(neg, vopts); err != nil {
+	repNeg, err := n.Neg.ProgramVerify(neg, vopts)
+	if err != nil {
 		return nil, err
 	}
+	repPos.Merge(repNeg)
+	obs.Default().Counter("train.pv.failed_cells").Add(int64(repPos.Failed()))
+	sp.End()
 	n.Invalidate()
 	tr, err := n.Evaluate(set)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 
 	"vortex/internal/dataset"
 	"vortex/internal/mat"
+	"vortex/internal/obs"
 	"vortex/internal/opt"
 	"vortex/internal/rng"
 	"vortex/internal/stats"
@@ -104,12 +105,16 @@ func SelfTune(set *dataset.Set, cfg SelfTuneConfig, src *rng.Source) (*mat.Matri
 	xVal, lVal := valSet.ToMatrix()
 	rho := stats.ThetaNormBound(cfg.Sigma, xTrain.Cols, cfg.Confidence)
 
+	defer obs.StartSpan("train.selftune", "gammas", len(cfg.Gammas)).End()
+	points := obs.Default().Counter("train.selftune.points")
 	curve := make([]GammaPoint, 0, len(cfg.Gammas))
 	best := -1
 	for gi, gamma := range cfg.Gammas {
 		if gamma < 0 || gamma > 1 {
 			return nil, 0, nil, errors.New("train: gamma out of [0,1]")
 		}
+		gsp := obs.StartSpan("train.selftune.gamma", "gamma", gamma)
+		points.Inc()
 		w, err := opt.TrainAll(xTrain, lTrain, cfg.Classes, gamma, rho, cfg.SGD, src.Split())
 		if err != nil {
 			return nil, 0, nil, err
@@ -121,6 +126,11 @@ func SelfTune(set *dataset.Set, cfg SelfTuneConfig, src *rng.Source) (*mat.Matri
 			VariedValRate: VariedAccuracy(xVal, lVal, w, cfg.Sigma, cfg.MCRuns, src.Split()),
 		}
 		curve = append(curve, pt)
+		gsp.End()
+		if obs.DebugEnabled() {
+			obs.L().Debug("selftune point", "gamma", gamma,
+				"train", pt.TrainRate, "val", pt.CleanValRate, "varied", pt.VariedValRate)
+		}
 		if best < 0 || pt.VariedValRate > curve[best].VariedValRate {
 			best = gi
 		}

@@ -23,6 +23,7 @@ import (
 	"vortex/internal/hw"
 	"vortex/internal/mat"
 	"vortex/internal/ncs"
+	"vortex/internal/obs"
 	"vortex/internal/opt"
 	"vortex/internal/rng"
 	"vortex/internal/stats"
@@ -68,6 +69,7 @@ type OLDConfig struct {
 // one open-loop programming pass, then a training-rate measurement on the
 // programmed hardware.
 func OLD(n *ncs.NCS, set *dataset.Set, cfg OLDConfig, src *rng.Source) (*Result, error) {
+	defer obs.StartSpan("train.old").End()
 	w, err := SoftwareGDT(set, n.Config().Outputs, cfg.SGD, src)
 	if err != nil {
 		return nil, err
@@ -86,6 +88,7 @@ func OLD(n *ncs.NCS, set *dataset.Set, cfg OLDConfig, src *rng.Source) (*Result,
 // them open loop (with IR compensation, as Vortex does) and measures the
 // training rate.
 func VATProgram(n *ncs.NCS, set *dataset.Set, gamma, sigma, confidence float64, cfg opt.SGDConfig, src *rng.Source) (*Result, error) {
+	defer obs.StartSpan("train.vat", "gamma", gamma).End()
 	w, err := SoftwareVAT(set, n.Config().Outputs, gamma, sigma, confidence, cfg, src)
 	if err != nil {
 		return nil, err

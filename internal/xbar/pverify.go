@@ -50,6 +50,8 @@ func (x *Crossbar) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (Verif
 	if targets.Rows != x.cfg.Rows || targets.Cols != x.cfg.Cols {
 		return rep, errors.New("xbar: target matrix dimension mismatch")
 	}
+	vstart := x.met.Start()
+	iters := 0
 	opts = opts.WithDefaults()
 	model := x.cfg.Model
 	rep.Verdicts = make([]CellVerdict, x.cfg.Rows*x.cfg.Cols)
@@ -86,6 +88,7 @@ func (x *Crossbar) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (Verif
 			stall := 0
 			verdict := VerdictConverged
 			for iter := 0; iter < opts.MaxIter && residual > opts.TolLog; iter++ {
+				iters++
 				verdict = VerdictExhausted
 				measured := senseLogR(cell)
 				thetaHat := measured - xEst // estimated offset (e^theta)
@@ -128,5 +131,6 @@ func (x *Crossbar) ProgramVerify(targets *mat.Matrix, opts VerifyOptions) (Verif
 			}
 		}
 	}
+	x.met.ObserveVerify(vstart, targets.Rows*targets.Cols, iters)
 	return rep, nil
 }

@@ -54,6 +54,7 @@ type Crossbar struct {
 	src   *rng.Source
 	stats ProgramStats
 	aging *agingState
+	met   *hw.Metrics
 }
 
 // New fabricates a crossbar. All devices start at HRS.
@@ -68,6 +69,7 @@ func New(cfg Config, src *rng.Source) (*Crossbar, error) {
 		cfg:   cfg,
 		cells: make([]device.Memristor, cfg.Rows*cfg.Cols),
 		src:   src,
+		met:   hw.MetricsFor(hw.Circuit.String()),
 	}
 	for i := range xb.cells {
 		theta := 0.0
@@ -137,10 +139,21 @@ func (x *Crossbar) ReadIdeal(v []float64) []float64 {
 // Read returns the sensed column currents for row voltages v, through the
 // parasitic network when wire resistance is configured.
 func (x *Crossbar) Read(v []float64) ([]float64, error) {
+	start := x.met.Start()
+	var (
+		out []float64
+		err error
+	)
 	if x.cfg.RWire == 0 {
-		return x.ReadIdeal(v), nil
+		out = x.ReadIdeal(v)
+	} else {
+		out, err = x.Network().Read(v)
 	}
-	return x.Network().Read(v)
+	if err != nil {
+		return nil, err
+	}
+	x.met.ObserveRead(start)
+	return out, nil
 }
 
 // EffectiveWeights returns the exact linear read map of the current
@@ -163,6 +176,8 @@ type ProgramOptions = hw.ProgramOptions
 // selected cell accumulates the corresponding sinh-suppressed drift once
 // at the end of the batch.
 func (x *Crossbar) ProgramBatch(pulses []CellPulse, opts ProgramOptions) error {
+	start := x.met.Start()
+	pulsesBefore := x.stats.Pulses
 	m, n := x.cfg.Rows, x.cfg.Cols
 	var nw *irdrop.Network
 	if x.cfg.RWire > 0 {
@@ -235,6 +250,7 @@ func (x *Crossbar) ProgramBatch(pulses []CellPulse, opts ProgramOptions) error {
 	if x.cfg.Disturb {
 		x.applyDisturb(rowSet, rowReset, colSet, colReset, selfSet, selfReset)
 	}
+	x.met.ObserveProgram(start, x.stats.Pulses-pulsesBefore)
 	return nil
 }
 
