@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json fuzz experiments fmt vet clean
+.PHONY: all build test test-short race bench bench-json doccheck fuzz experiments fmt vet clean
 
 all: build test
 
@@ -29,10 +29,16 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -timeout 7200s . 2>&1 | tee bench_output.txt
 	$(GO) test -bench=BenchmarkBackend -benchmem ./internal/hw/ 2>&1 | tee -a bench_output.txt
 
-# Machine-readable perf record: read-path ns/op on both backends plus
-# the instrumentation layer's measured overhead (BENCH_pr3.json).
+# Machine-readable perf record: steady-state and batched read-path
+# ns/op and allocs/op on both backends, warm vs cold parasitic solves,
+# and the instrumentation layer's measured overhead (BENCH_pr4.json).
 bench-json:
-	$(GO) run ./cmd/benchjson -o BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -o BENCH_pr4.json
+
+# Doc-coverage gate: every exported identifier in every package must
+# carry a godoc comment (see cmd/doccheck).
+doccheck:
+	$(GO) run ./cmd/doccheck $(shell find ./internal ./cmd -type d | sort)
 
 # Short fuzz sessions over the quantizer and the device dynamics.
 fuzz:

@@ -2,15 +2,23 @@
 // machine-readable benchmark record, so the perf trajectory of the repo
 // is tracked in JSON instead of only prose benchmark dumps.
 //
-// It times the array read path on both hardware backends at the paper's
-// full-scale geometry (784x10), measures the overhead of the obs
+// It times the steady-state array read path (Array.ReadInto into a
+// pooled buffer — the post-PR-4 hot path) on both hardware backends at
+// the paper's full-scale geometry (784x10), the batched read path
+// (Array.ReadBatch), the parasitic circuit read both warm-started
+// (persistent network workspace) and cold (a detached snapshot network
+// per read, the pre-PR-4 behaviour), and the overhead of the obs
 // instrumentation layer by re-running the analytic read with metrics
-// recording disabled, and attaches the operation counters the
-// instrumented runs accumulated.
+// recording disabled. The operation counters the instrumented runs
+// accumulated are attached at the end.
+//
+// The output schema matches BENCH_pr3.json: compare the "circuit"/"on"
+// read_path entry against PR 3's 145µs/op, 3 allocs/op to see the
+// reusable-workspace payoff.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_pr3.json] [-rows 784] [-cols 10] [-reps 5]
+//	benchjson [-o BENCH_pr4.json] [-rows 784] [-cols 10] [-reps 5] [-rwire 2.5] [-batch 64]
 package main
 
 import (
@@ -27,9 +35,8 @@ import (
 	"vortex/internal/mat"
 	"vortex/internal/obs"
 	"vortex/internal/rng"
-
-	// Link in the circuit backend.
-	_ "vortex/internal/xbar"
+	// Importing xbar also links in the circuit backend registration.
+	"vortex/internal/xbar"
 )
 
 type readEntry struct {
@@ -61,25 +68,27 @@ type instrumentation struct {
 
 func main() {
 	var (
-		out  = flag.String("o", "BENCH_pr3.json", "output file")
-		rows = flag.Int("rows", 784, "array rows")
-		cols = flag.Int("cols", 10, "array columns")
-		reps = flag.Int("reps", 5, "benchmark repetitions (best-of)")
+		out   = flag.String("o", "BENCH_pr4.json", "output file")
+		rows  = flag.Int("rows", 784, "array rows")
+		cols  = flag.Int("cols", 10, "array columns")
+		reps  = flag.Int("reps", 5, "benchmark repetitions (best-of)")
+		rwire = flag.Float64("rwire", 2.5, "wire resistance for the parasitic circuit entries")
+		batch = flag.Int("batch", 64, "batch size for the ReadBatch entries")
 	)
 	flag.Parse()
-	if err := run(*out, *rows, *cols, *reps); err != nil {
+	if err := run(*out, *rows, *cols, *reps, *rwire, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, rows, cols, reps int) error {
+func run(out string, rows, cols, reps int, rwire float64, batch int) error {
 	// Fresh registry window so op_counts reflects only the benchmarked
 	// operations.
 	obs.Default().Reset()
 
 	rep := report{
-		PR:         3,
+		PR:         4,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -87,13 +96,14 @@ func run(out string, rows, cols, reps int) error {
 		Cols:       cols,
 	}
 
-	circuitOn, err := benchRead(hw.Circuit, rows, cols, reps)
+	// Steady-state single reads (ReadInto into a pooled buffer).
+	circuitOn, err := benchReadInto(hw.Circuit, rows, cols, 0, reps)
 	if err != nil {
 		return err
 	}
 	rep.ReadPath = append(rep.ReadPath, entry("circuit", "on", circuitOn))
 
-	analyticOn, err := benchRead(hw.Analytic, rows, cols, reps)
+	analyticOn, err := benchReadInto(hw.Analytic, rows, cols, 0, reps)
 	if err != nil {
 		return err
 	}
@@ -102,12 +112,40 @@ func run(out string, rows, cols, reps int) error {
 	// The "before" number: the identical read loop with instrumentation
 	// disabled — the only remaining probe cost is one atomic flag load.
 	obs.SetEnabled(false)
-	analyticOff, err := benchRead(hw.Analytic, rows, cols, reps)
+	analyticOff, err := benchReadInto(hw.Analytic, rows, cols, 0, reps)
 	obs.SetEnabled(true)
 	if err != nil {
 		return err
 	}
 	rep.ReadPath = append(rep.ReadPath, entry("analytic", "off", analyticOff))
+
+	// Batched reads: per-read cost inside an Array.ReadBatch call.
+	circuitBatch, err := benchReadBatch(hw.Circuit, rows, cols, 0, batch, reps)
+	if err != nil {
+		return err
+	}
+	rep.ReadPath = append(rep.ReadPath, entry(fmt.Sprintf("circuit-batch%d", batch), "on", circuitBatch))
+
+	analyticBatch, err := benchReadBatch(hw.Analytic, rows, cols, 0, batch, reps)
+	if err != nil {
+		return err
+	}
+	rep.ReadPath = append(rep.ReadPath, entry(fmt.Sprintf("analytic-batch%d", batch), "on", analyticBatch))
+
+	// Parasitic circuit reads: warm-started (the persistent workspace
+	// carries the previous converged solution) versus cold (a detached
+	// snapshot network per read — the pre-PR-4 behaviour).
+	warm, err := benchReadInto(hw.Circuit, rows, cols, rwire, reps)
+	if err != nil {
+		return err
+	}
+	rep.ReadPath = append(rep.ReadPath, entry(fmt.Sprintf("circuit-rwire%g-warm", rwire), "on", warm))
+
+	cold, err := benchColdCircuit(rows, cols, rwire, reps)
+	if err != nil {
+		return err
+	}
+	rep.ReadPath = append(rep.ReadPath, entry(fmt.Sprintf("circuit-rwire%g-cold", rwire), "on", cold))
 
 	onNs := nsPerOp(analyticOn)
 	offNs := nsPerOp(analyticOff)
@@ -128,39 +166,119 @@ func run(out string, rows, cols, reps int) error {
 	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: analytic read %.0f ns/op (obs off %.0f, overhead %.1f%%), circuit %.0f ns/op (%.1fx)\n",
-		out, onNs, offNs, rep.Instrumentation.OverheadPct, nsPerOp(circuitOn), rep.AnalyticSpeedup)
+	fmt.Printf("wrote %s:\n", out)
+	fmt.Printf("  steady-state read: circuit %.0f ns/op (%d allocs), analytic %.0f ns/op (obs off %.0f, overhead %.1f%%)\n",
+		nsPerOp(circuitOn), circuitOn.AllocsPerOp(), onNs, offNs, rep.Instrumentation.OverheadPct)
+	fmt.Printf("  batched read (n=%d): circuit %.0f ns/op, analytic %.0f ns/op\n",
+		batch, nsPerOp(circuitBatch), nsPerOp(analyticBatch))
+	fmt.Printf("  parasitic circuit read (rwire %g): warm %.0f ns/op vs cold %.0f ns/op (%.1fx)\n",
+		rwire, nsPerOp(warm), nsPerOp(cold), nsPerOp(cold)/nsPerOp(warm))
 	return nil
 }
 
-// benchRead times Array.Read on a programmed rows x cols array,
-// best-of-reps to shave scheduler noise.
-func benchRead(backend hw.Backend, rows, cols, reps int) (testing.BenchmarkResult, error) {
+// buildArray fabricates and programs a rows x cols array on the backend.
+func buildArray(backend hw.Backend, rows, cols int, rwire float64) (hw.Array, error) {
 	cfg := hw.Config{
 		Rows:  rows,
 		Cols:  cols,
 		Model: device.DefaultSwitchModel(),
 		Sigma: 0.3,
+		RWire: rwire,
 	}
 	arr, err := hw.New(backend, cfg, rng.New(1))
 	if err != nil {
-		return testing.BenchmarkResult{}, err
+		return nil, err
 	}
 	targets := mat.NewMatrix(rows, cols)
 	targets.Fill(100e3)
 	if err := arr.ProgramTargets(targets, hw.ProgramOptions{}); err != nil {
-		return testing.BenchmarkResult{}, err
+		return nil, err
 	}
-	v := make([]float64, rows)
+	return arr, nil
+}
+
+func ones(n int) []float64 {
+	v := make([]float64, n)
 	for i := range v {
 		v[i] = 1
+	}
+	return v
+}
+
+// benchReadInto times the steady-state Array.ReadInto hot path into a
+// pooled output buffer, best-of-reps to shave scheduler noise.
+func benchReadInto(backend hw.Backend, rows, cols int, rwire float64, reps int) (testing.BenchmarkResult, error) {
+	arr, err := buildArray(backend, rows, cols, rwire)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	v := ones(rows)
+	dst := make([]float64, cols)
+	// Warm the caches and the solver workspace before timing.
+	if err := arr.ReadInto(dst, v); err != nil {
+		return testing.BenchmarkResult{}, err
 	}
 	var best testing.BenchmarkResult
 	for r := 0; r < reps; r++ {
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := arr.Read(v); err != nil {
+				if err := arr.ReadInto(dst, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if r == 0 || nsPerOp(res) < nsPerOp(best) {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// benchReadBatch times Array.ReadBatch; the reported ns/op and
+// allocs/op are per read (batch cost divided by batch size).
+func benchReadBatch(backend hw.Backend, rows, cols int, rwire float64, batch, reps int) (testing.BenchmarkResult, error) {
+	arr, err := buildArray(backend, rows, cols, rwire)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	vins := make([][]float64, batch)
+	for i := range vins {
+		vins[i] = ones(rows)
+	}
+	var best testing.BenchmarkResult
+	for r := 0; r < reps; r++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := arr.ReadBatch(vins); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		res.N *= batch // normalize to per-read cost
+		if r == 0 || nsPerOp(res) < nsPerOp(best) {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// benchColdCircuit times the pre-PR-4 parasitic read: a detached
+// snapshot network per read, fresh scratch, no warm start.
+func benchColdCircuit(rows, cols int, rwire float64, reps int) (testing.BenchmarkResult, error) {
+	arr, err := buildArray(hw.Circuit, rows, cols, rwire)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	xb := arr.(*xbar.Crossbar)
+	v := ones(rows)
+	var best testing.BenchmarkResult
+	for r := 0; r < reps; r++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := xb.Network().Read(v); err != nil {
 					b.Fatal(err)
 				}
 			}

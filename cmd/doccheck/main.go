@@ -1,0 +1,169 @@
+// Command doccheck enforces godoc coverage: every exported top-level
+// identifier — package clauses included — in the packages it is pointed
+// at must carry a doc comment. It exits nonzero and lists the offenders
+// otherwise, so CI can gate on documentation the same way it gates on
+// tests.
+//
+// Usage:
+//
+//	doccheck [-v] ./internal/hw ./internal/obs ...
+//
+// Each argument is a directory containing one Go package (the ./...
+// wildcard is not expanded; list directories explicitly or via the
+// Makefile doccheck target). Test files are skipped. A package clause
+// only needs a comment on one file of the package.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every checked package")
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-v] dir [dir ...]")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, dir := range dirs {
+		miss, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		if *verbose {
+			fmt.Printf("doccheck: %s: %d undocumented\n", dir, len(miss))
+		}
+		problems = append(problems, miss...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported identifiers\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// checkDir parses the package in dir and returns one "file:line: name"
+// string per undocumented exported identifier.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var miss []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		miss = append(miss, checkPackage(fset, dir, pkg)...)
+	}
+	return miss, nil
+}
+
+func checkPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {
+	var miss []string
+	pkgDocumented := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			pkgDocumented = true
+		}
+	}
+	if !pkgDocumented {
+		miss = append(miss, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+	}
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		miss = append(miss, fmt.Sprintf("%s:%d: %s %s is undocumented",
+			filepath.Join(dir, filepath.Base(p.Filename)), p.Line, what, name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || d.Doc != nil {
+					continue
+				}
+				name := d.Name.Name
+				if d.Recv != nil && len(d.Recv.List) > 0 {
+					r := receiverName(d.Recv.List[0].Type)
+					if r != "" && !ast.IsExported(r) {
+						continue // method on an unexported type
+					}
+					name = r + "." + name
+				}
+				report(d.Pos(), "func", name)
+			case *ast.GenDecl:
+				miss = append(miss, checkGenDecl(fset, dir, d)...)
+			}
+		}
+	}
+	return miss
+}
+
+// checkGenDecl handles const/var/type blocks: a doc comment on the block
+// covers every spec inside it; otherwise each exported spec needs its
+// own.
+func checkGenDecl(fset *token.FileSet, dir string, d *ast.GenDecl) []string {
+	if d.Tok == token.IMPORT || d.Doc != nil {
+		return nil
+	}
+	var miss []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		miss = append(miss, fmt.Sprintf("%s:%d: %s %s is undocumented",
+			filepath.Join(dir, filepath.Base(p.Filename)), p.Line, what, name))
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), strings.ToLower(d.Tok.String()), n.Name)
+				}
+			}
+		}
+	}
+	return miss
+}
+
+// receiverName unwraps a method receiver type expression to its named
+// type, tolerating pointers and generic instantiations.
+func receiverName(expr ast.Expr) string {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.IndexListExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -159,13 +159,13 @@ func cldColumn(xb hw.Array, model device.SwitchModel, chain *adc.SenseChain, vin
 	// Controller belief of each cell's conductance (dead reckoning from
 	// the known HRS reset state).
 	belief := mat.Constant(cells, 1/model.Roff)
-	lsb := fig2Target / 32 // effective resolution floor of the 6-bit chain
+	lsb := fig2Target / 32    // effective resolution floor of the 6-bit chain
+	out := make([]float64, 1) // reused across the sense-program iterations
 	for iter := 0; iter < 80; iter++ {
-		raw, err := readColumn(xb, vin)
-		if err != nil {
+		if err := xb.ReadInto(out, vin); err != nil {
 			return err
 		}
-		sensed := chain.Sense(raw)
+		sensed := chain.Sense(out[0])
 		e := fig2Target - sensed
 		if math.Abs(e) < lsb/2 {
 			return nil

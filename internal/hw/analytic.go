@@ -144,9 +144,34 @@ func (a *AnalyticArray) Conductances() *mat.Matrix { return a.matrix().Clone() }
 // Read returns column currents for row voltages v: a single
 // matrix-vector product against the cached conductances.
 func (a *AnalyticArray) Read(v []float64) ([]float64, error) {
+	out := make([]float64, a.cfg.Cols)
+	if err := a.ReadInto(out, v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto computes column currents for row voltages v into dst — the
+// allocation-free steady-state read: one matrix-vector product against
+// the cached conductances, no buffers created.
+func (a *AnalyticArray) ReadInto(dst, v []float64) error {
 	start := a.met.Start()
-	out := a.matrix().MulVec(v)
+	a.matrix().MulVecTo(dst, v)
 	a.met.ObserveRead(start)
+	return nil
+}
+
+// ReadBatch reads a batch of input vectors against one conductance
+// snapshot, amortizing the cache check and metrics probe across the
+// batch. The returned rows share a single backing allocation.
+func (a *AnalyticArray) ReadBatch(vins [][]float64) ([][]float64, error) {
+	start := a.met.Start()
+	g := a.matrix()
+	out := AllocBatch(len(vins), a.cfg.Cols)
+	for k, v := range vins {
+		g.MulVecTo(out[k], v)
+	}
+	a.met.ObserveBatchRead(start, len(vins))
 	return out, nil
 }
 

@@ -216,6 +216,17 @@ type Array interface {
 	Cols() int
 	// Read returns the sensed column currents for row voltages v.
 	Read(v []float64) ([]float64, error)
+	// ReadInto computes the sensed column currents for row voltages v
+	// into dst (length Cols). It is the steady-state hot path: backends
+	// keep reusable solver workspaces and cached conductance state so
+	// repeated calls on an unchanged array allocate nothing.
+	ReadInto(dst, v []float64) error
+	// ReadBatch reads a batch of input vectors in one call, returning
+	// one output row per input. Backends amortize solver setup across
+	// the batch (and, on the circuit backend, warm-start each solve
+	// from the previous one), so per-read cost drops for digit-batch
+	// evaluation loops. The returned rows share one backing allocation.
+	ReadBatch(vins [][]float64) ([][]float64, error)
 	// EffectiveWeights returns the exact linear read map of the current
 	// array state: Read(v) = W^T v for the returned W. For an ideal-wire
 	// array it is the conductance matrix itself.
@@ -245,6 +256,18 @@ type Array interface {
 	Stats() ProgramStats
 	// ResetStats clears the cost counters.
 	ResetStats()
+}
+
+// AllocBatch carves n rows of cols float64s out of one backing
+// allocation — the output shape shared by every ReadBatch
+// implementation (two mallocs per batch regardless of batch size).
+func AllocBatch(n, cols int) [][]float64 {
+	backing := make([]float64, n*cols)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = backing[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return out
 }
 
 // Ager is the optional retention-drift capability: backends that model

@@ -19,14 +19,17 @@ import (
 // Counters and histograms are atomic; bundles are safe to share across
 // the parallel trial workers. All methods are nil-receiver safe.
 type Metrics struct {
-	reads       *obs.Counter
-	readNS      *obs.Histogram
-	pulses      *obs.Counter
-	batches     *obs.Counter
-	programNS   *obs.Histogram
-	verifyCells *obs.Counter
-	verifyIters *obs.Counter
-	verifyNS    *obs.Histogram
+	reads        *obs.Counter
+	readNS       *obs.Histogram
+	batchReads   *obs.Counter
+	batchReadNS  *obs.Histogram
+	pulses       *obs.Counter
+	batches      *obs.Counter
+	programNS    *obs.Histogram
+	verifyCells  *obs.Counter
+	verifyIters  *obs.Counter
+	verifyNS     *obs.Histogram
+	solverSweeps *obs.Histogram
 }
 
 var (
@@ -45,14 +48,17 @@ func MetricsFor(backend string) *Metrics {
 	reg := obs.Default()
 	prefix := "hw." + backend + "."
 	m := &Metrics{
-		reads:       reg.Counter(prefix + "reads"),
-		readNS:      reg.Histogram(prefix + "read_ns"),
-		pulses:      reg.Counter(prefix + "pulses"),
-		batches:     reg.Counter(prefix + "batches"),
-		programNS:   reg.Histogram(prefix + "program_ns"),
-		verifyCells: reg.Counter(prefix + "verify.cells"),
-		verifyIters: reg.Counter(prefix + "verify.iters"),
-		verifyNS:    reg.Histogram(prefix + "verify_ns"),
+		reads:        reg.Counter(prefix + "reads"),
+		readNS:       reg.Histogram(prefix + "read_ns"),
+		batchReads:   reg.Counter(prefix + "batch_reads"),
+		batchReadNS:  reg.Histogram(prefix + "batch_read_ns"),
+		pulses:       reg.Counter(prefix + "pulses"),
+		batches:      reg.Counter(prefix + "batches"),
+		programNS:    reg.Histogram(prefix + "program_ns"),
+		verifyCells:  reg.Counter(prefix + "verify.cells"),
+		verifyIters:  reg.Counter(prefix + "verify.iters"),
+		verifyNS:     reg.Histogram(prefix + "verify_ns"),
+		solverSweeps: reg.Histogram(prefix + "solver.sweeps"),
 	}
 	metricsBy[backend] = m
 	return m
@@ -78,6 +84,32 @@ func (m *Metrics) ObserveRead(start time.Time) {
 	if !start.IsZero() {
 		m.readNS.RecordDuration(time.Since(start))
 	}
+}
+
+// ObserveBatchRead accounts one ReadBatch call of n input vectors
+// started at start: the batch-read counter advances by one, the plain
+// read counter by n (a batch is n logical reads), and the whole-batch
+// latency lands in the batch_read_ns histogram.
+func (m *Metrics) ObserveBatchRead(start time.Time, n int) {
+	if m == nil {
+		return
+	}
+	m.batchReads.Inc()
+	m.reads.Add(int64(n))
+	if !start.IsZero() {
+		m.batchReadNS.RecordDuration(time.Since(start))
+	}
+}
+
+// ObserveSolverSweeps records the block-sweep count of one converged
+// circuit solve in the solver.sweeps histogram — the series that shows
+// warm-started sweeps collapsing versus cold solves. Recording is gated
+// on the obs enable flag like the latency histograms.
+func (m *Metrics) ObserveSolverSweeps(sweeps int) {
+	if m == nil || !obs.Enabled() {
+		return
+	}
+	m.solverSweeps.Record(float64(sweeps))
 }
 
 // ObserveProgram accounts one programming batch of n pulses started at

@@ -51,6 +51,10 @@ type Network struct {
 	// Solver controls; zero values select sensible defaults.
 	Tol      float64 // voltage convergence tolerance [V]; default 1e-9
 	MaxSweep int     // maximum block sweeps; default 500
+
+	// ws is the lazily created solver workspace (scratch slices, pooled
+	// solution buffers, warm-start state); see Workspace.
+	ws *Workspace
 }
 
 // NewNetwork builds a network for the given conductance matrix.
@@ -81,20 +85,40 @@ func thomas(a, b, c, d []float64) { mat.SolveTridiagInPlace(a, b, c, d) }
 
 // Solution holds the solved node voltages of the network: U are the row
 // wire nodes, W the column wire nodes, both Rows x Cols.
+//
+// Solutions returned by Solve alias the network's workspace buffers and
+// stay valid only until the next Solve on the same network; Clone one to
+// retain it. SolveMasked returns caller-owned solutions.
 type Solution struct {
 	U, W *mat.Matrix
+}
+
+// Clone returns a deep copy of the solution, detached from any solver
+// workspace.
+func (s *Solution) Clone() *Solution {
+	return &Solution{U: s.U.Clone(), W: s.W.Clone()}
 }
 
 // Solve computes all node voltages with rows driven at vrow (left end)
 // and columns terminated at vcol (bottom end). Both drivers connect
 // through one wire segment.
+//
+// Solve runs inside the network's reusable workspace: the returned
+// Solution aliases pooled buffers (valid until the next Solve on this
+// network), no per-call scratch is allocated, and when the workspace
+// holds a previously converged solution the block Gauss-Seidel iteration
+// warm-starts from it. The iteration's unique fixed point is the exact
+// nodal solution regardless of the starting point, so warm starts change
+// only the sweep count, never the answer (beyond the convergence
+// tolerance); DESIGN.md §9 gives the argument.
 func (nw *Network) Solve(vrow, vcol []float64) (*Solution, error) {
 	m, n := nw.Rows, nw.Cols
 	if len(vrow) != m || len(vcol) != n {
 		panic("irdrop: Solve dimension mismatch")
 	}
-	u := mat.NewMatrix(m, n)
-	w := mat.NewMatrix(m, n)
+	ws := nw.Workspace()
+	u, w := ws.sol.U, ws.sol.W
+	ws.sweeps = 0
 	if nw.RWire == 0 {
 		// Ideal wires: row nodes at the driver voltage, column nodes at
 		// the termination voltage.
@@ -104,28 +128,23 @@ func (nw *Network) Solve(vrow, vcol []float64) (*Solution, error) {
 				w.Set(i, j, vcol[j])
 			}
 		}
-		return &Solution{U: u, W: w}, nil
+		ws.warm = false // nothing iterative to warm-start
+		return &ws.sol, nil
 	}
 	gw := 1 / nw.RWire
-	// Initialize at the driven values for fast convergence.
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			u.Set(i, j, vrow[i])
-			w.Set(i, j, vcol[j])
+	if !ws.warm {
+		// Cold start: initialize at the driven values.
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				u.Set(i, j, vrow[i])
+				w.Set(i, j, vcol[j])
+			}
 		}
 	}
-	// Scratch for the larger of the two ladder lengths.
-	k := n
-	if m > k {
-		k = m
-	}
-	a := make([]float64, k)
-	b := make([]float64, k)
-	c := make([]float64, k)
-	d := make([]float64, k)
+	a, b, c, d := ws.a, ws.b, ws.c, ws.d
 
 	tol := nw.tol()
-	for sweep := 0; sweep < nw.maxSweep(); sweep++ {
+	for sweep := 1; sweep <= nw.maxSweep(); sweep++ {
 		maxDelta := 0.0
 		// Row ladders: unknown u[i][*] with loads g to known w[i][*].
 		for i := 0; i < m; i++ {
@@ -189,17 +208,30 @@ func (nw *Network) Solve(vrow, vcol []float64) (*Solution, error) {
 			}
 		}
 		if maxDelta < tol {
-			return &Solution{U: u, W: w}, nil
+			ws.sweeps = sweep
+			ws.warm = true
+			return &ws.sol, nil
 		}
 	}
+	ws.warm = false
 	return nil, ErrNoConvergence
 }
 
 // ColumnCurrents returns the current flowing from each column wire into
 // its termination (the sensed output currents).
 func (nw *Network) ColumnCurrents(sol *Solution, vcol []float64) []float64 {
+	out := make([]float64, nw.Cols)
+	nw.ColumnCurrentsInto(out, sol, vcol)
+	return out
+}
+
+// ColumnCurrentsInto writes the sensed column currents into dst (length
+// Cols) — the allocation-free form of ColumnCurrents.
+func (nw *Network) ColumnCurrentsInto(dst []float64, sol *Solution, vcol []float64) {
 	n := nw.Cols
-	out := make([]float64, n)
+	if len(dst) != n {
+		panic("irdrop: ColumnCurrentsInto dst length mismatch")
+	}
 	if nw.RWire == 0 {
 		// Sum of cell currents directly.
 		for j := 0; j < n; j++ {
@@ -207,26 +239,40 @@ func (nw *Network) ColumnCurrents(sol *Solution, vcol []float64) []float64 {
 			for i := 0; i < nw.Rows; i++ {
 				s += nw.G.At(i, j) * (sol.U.At(i, j) - vcol[j])
 			}
-			out[j] = s
+			dst[j] = s
 		}
-		return out
+		return
 	}
 	gw := 1 / nw.RWire
 	for j := 0; j < n; j++ {
-		out[j] = gw * (sol.W.At(nw.Rows-1, j) - vcol[j])
+		dst[j] = gw * (sol.W.At(nw.Rows-1, j) - vcol[j])
 	}
-	return out
 }
 
 // Read returns the sensed column currents for input voltages vin with all
 // columns at virtual ground.
 func (nw *Network) Read(vin []float64) ([]float64, error) {
-	vcol := make([]float64, nw.Cols)
-	sol, err := nw.Solve(vin, vcol)
-	if err != nil {
+	out := make([]float64, nw.Cols)
+	if err := nw.ReadInto(out, vin); err != nil {
 		return nil, err
 	}
-	return nw.ColumnCurrents(sol, vcol), nil
+	return out, nil
+}
+
+// ReadInto computes the sensed column currents for input voltages vin
+// into dst (length Cols). It is allocation-free in steady state: the
+// solve runs in the network's workspace and warm-starts from the
+// previous solution when one is available.
+func (nw *Network) ReadInto(dst, vin []float64) error {
+	// ws.vcol is kept all-zero between calls — the virtual-ground column
+	// termination.
+	ws := nw.Workspace()
+	sol, err := nw.Solve(vin, ws.vcol)
+	if err != nil {
+		return err
+	}
+	nw.ColumnCurrentsInto(dst, sol, ws.vcol)
+	return nil
 }
 
 // EffectiveWeights returns the matrix Weff with y = x * Weff exactly
@@ -242,11 +288,15 @@ func (nw *Network) EffectiveWeights() (*mat.Matrix, error) {
 	}
 	gw := 1 / nw.RWire
 	weff := mat.NewMatrix(m, n)
-	vrow := make([]float64, m)
-	vcol := make([]float64, n)
+	// vzero is the all-zero row drive; vcol is borrowed from the
+	// workspace and restored to all-zero before every return, because
+	// ReadInto relies on it staying zeroed.
+	ws := nw.Workspace()
+	vrow, vcol := ws.vzero, ws.vcol
 	for j := 0; j < n; j++ {
 		vcol[j] = 1
 		sol, err := nw.Solve(vrow, vcol)
+		vcol[j] = 0
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +305,6 @@ func (nw *Network) EffectiveWeights() (*mat.Matrix, error) {
 			// gw*(0 - u[i][0]); reciprocity gives Weff[i][j] = gw*u[i][0].
 			weff.Set(i, j, gw*sol.U.At(i, 0))
 		}
-		vcol[j] = 0
 	}
 	return weff, nil
 }
@@ -276,9 +325,12 @@ func (nw *Network) ProgramVoltage(a, b int, v float64) (float64, error) {
 	gw := 1 / nw.RWire
 	half := v / 2
 	// Unknowns: u[0..n-1] along the selected row, w[0..m-1] along the
-	// selected column. Off-line wires are pinned at half bias.
-	u := make([]float64, n)
-	w := make([]float64, m)
+	// selected column. Off-line wires are pinned at half bias. The
+	// ladders and Thomas scratch come from the workspace (the a..d
+	// scratch is shared with Solve; the pooled Solution — and with it
+	// any warm-start state — is untouched).
+	ws := nw.Workspace()
+	u, w := ws.pu, ws.pw
 	for j := range u {
 		u[j] = v
 	}
@@ -286,14 +338,7 @@ func (nw *Network) ProgramVoltage(a, b int, v float64) (float64, error) {
 	for i := range w {
 		w[i] = half * float64(m-1-i) / float64(m)
 	}
-	k := n
-	if m > k {
-		k = m
-	}
-	va := make([]float64, k)
-	vb := make([]float64, k)
-	vc := make([]float64, k)
-	vd := make([]float64, k)
+	va, vb, vc, vd := ws.a, ws.b, ws.c, ws.d
 
 	tol := nw.tol()
 	for sweep := 0; sweep < nw.maxSweep(); sweep++ {

@@ -62,14 +62,11 @@ func (nw *Network) SolveMasked(vrow, vcol []float64, mask LineMask) (*Solution, 
 			}
 		}
 	}
-	k := n
-	if m > k {
-		k = m
-	}
-	a := make([]float64, k)
-	b := make([]float64, k)
-	c := make([]float64, k)
-	d := make([]float64, k)
+	// U and W are caller-owned (floating-line analyses hold several
+	// solutions side by side); only the Thomas scratch is pooled. The
+	// workspace's Solution — and any warm-start state — is untouched.
+	ws := nw.Workspace()
+	a, b, c, d := ws.a, ws.b, ws.c, ws.d
 
 	tol := nw.tol()
 	for sweep := 0; sweep < nw.maxSweep(); sweep++ {

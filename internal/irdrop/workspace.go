@@ -1,0 +1,96 @@
+package irdrop
+
+import "vortex/internal/mat"
+
+// Workspace holds every buffer the block Gauss-Seidel solver needs for a
+// fixed network geometry: the Thomas-algorithm scratch vectors shared by
+// all ladder solves, the pooled Solution (node-voltage) matrices that
+// Solve writes into, the two-ladder scratch of ProgramVoltage, and the
+// warm-start state carried between solves.
+//
+// A Network lazily creates one workspace on first use and keeps it for
+// its lifetime, so repeated Solve/Read/EffectiveWeights calls on the
+// same network are allocation-free in steady state. Callers that refresh
+// the network's conductance matrix in place (the circuit backend does,
+// between programming passes) additionally get warm starts: the next
+// Solve begins from the previous converged node voltages, which cuts
+// sweeps-to-convergence sharply when conductances moved only slightly
+// (Monte-Carlo perturbations, CLD epochs).
+//
+// A workspace belongs to one network at a time and is not safe for
+// concurrent use, matching the hw.Array contract.
+type Workspace struct {
+	rows, cols int
+
+	// Thomas scratch for the larger of the two ladder lengths.
+	a, b, c, d []float64
+
+	// Pooled solution buffers; Solve returns a Solution aliasing these.
+	sol Solution
+
+	// warm marks sol as holding a previously converged solution, usable
+	// as the next solve's starting point.
+	warm bool
+
+	// sweeps spent by the most recent Solve (0 for ideal wires).
+	sweeps int
+
+	// ProgramVoltage two-ladder scratch: selected row and column.
+	pu, pw []float64
+
+	// Zero column-drive vector for Read, and a mutable column drive for
+	// EffectiveWeights' adjoint solves (kept all-zero between calls).
+	vzero []float64
+	vcol  []float64
+}
+
+// NewWorkspace returns a workspace sized for a rows x cols network.
+func NewWorkspace(rows, cols int) *Workspace {
+	k := cols
+	if rows > k {
+		k = rows
+	}
+	return &Workspace{
+		rows:  rows,
+		cols:  cols,
+		a:     make([]float64, k),
+		b:     make([]float64, k),
+		c:     make([]float64, k),
+		d:     make([]float64, k),
+		sol:   Solution{U: mat.NewMatrix(rows, cols), W: mat.NewMatrix(rows, cols)},
+		pu:    make([]float64, cols),
+		pw:    make([]float64, rows),
+		vzero: make([]float64, rows),
+		vcol:  make([]float64, cols),
+	}
+}
+
+// Reset discards the warm-start state, forcing the next Solve to start
+// cold from the driven values. Use it when the network's conductances
+// changed so much that the previous solution is no longer a useful
+// starting point, or to reproduce a cold solve exactly.
+func (ws *Workspace) Reset() { ws.warm = false }
+
+// Sweeps returns the number of block sweeps the most recent Solve on
+// this workspace spent to converge (0 for an ideal-wire network, where
+// no iteration runs).
+func (ws *Workspace) Sweeps() int { return ws.sweeps }
+
+// Workspace returns the network's solver workspace, creating it on first
+// use. The workspace — including its warm-start state — persists across
+// Solve/Read/EffectiveWeights calls for the network's lifetime.
+func (nw *Network) Workspace() *Workspace {
+	if nw.ws == nil || nw.ws.rows != nw.Rows || nw.ws.cols != nw.Cols {
+		nw.ws = NewWorkspace(nw.Rows, nw.Cols)
+	}
+	return nw.ws
+}
+
+// Sweeps returns the number of block sweeps spent by the most recent
+// Solve on this network (0 before any solve and for ideal wires).
+func (nw *Network) Sweeps() int {
+	if nw.ws == nil {
+		return 0
+	}
+	return nw.ws.sweeps
+}

@@ -181,10 +181,24 @@ func (m *Matrix) T() *Matrix {
 // 1-by-Cols vector. This is the crossbar read orientation: input voltages
 // on the rows, summed currents on the columns.
 func (m *Matrix) MulVec(x []float64) []float64 {
-	if len(x) != m.Rows {
-		panic("mat: MulVec dimension mismatch")
-	}
 	y := make([]float64, m.Cols)
+	m.MulVecTo(y, x)
+	return y
+}
+
+// MulVecTo computes y = x * M into dst (length Cols), overwriting it.
+// This is the allocation-free kernel behind MulVec, used by the
+// steady-state array read path where the output buffer is pooled.
+func (m *Matrix) MulVecTo(dst, x []float64) {
+	if len(x) != m.Rows {
+		panic("mat: MulVecTo dimension mismatch")
+	}
+	if len(dst) != m.Cols {
+		panic("mat: MulVecTo dst length mismatch")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
 		if xi == 0 {
@@ -192,10 +206,9 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 		}
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		for j, w := range row {
-			y[j] += xi * w
+			dst[j] += xi * w
 		}
 	}
-	return y
 }
 
 // VecMul computes y = M * x with x of length Cols, returning length Rows.

@@ -105,6 +105,12 @@ type NCS struct {
 
 	// cached effective read weights; invalidated by programming
 	weffPos, weffNeg *mat.Matrix
+
+	// reusable scoring scratch (physical drive vector and per-array
+	// column currents), so steady-state Scores/Evaluate loops allocate
+	// only their outputs. An NCS, like the arrays under it, is not safe
+	// for concurrent use; Monte-Carlo loops give each trial its own.
+	scrV, scrIP, scrIN []float64
 }
 
 // New fabricates an NCS; the rng source drives fabrication variation for
@@ -259,10 +265,13 @@ func (n *NCS) effective() (pos, neg *mat.Matrix, err error) {
 	return n.weffPos, n.weffNeg, nil
 }
 
-// driveVector expands a logical input vector to physical row voltages
-// through the row map.
-func (n *NCS) driveVector(x []float64) []float64 {
-	v := make([]float64, n.PhysRows())
+// driveVectorInto expands a logical input vector to physical row
+// voltages through the row map, writing into dst (length PhysRows).
+// Unmapped (redundant) rows are driven at 0 V.
+func (n *NCS) driveVectorInto(dst, x []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i, p := range n.rowMap {
 		xi := x[i]
 		if xi < 0 {
@@ -270,9 +279,8 @@ func (n *NCS) driveVector(x []float64) []float64 {
 		} else if xi > 1 {
 			xi = 1
 		}
-		v[p] = xi * n.cfg.Vread
+		dst[p] = xi * n.cfg.Vread
 	}
-	return v
 }
 
 // Scores returns the sensed, codec-scaled output scores for a logical
@@ -289,25 +297,55 @@ func (n *NCS) Scores(x []float64) ([]float64, error) {
 // out as CLD's hardware overhead (Sec. 1, Sec. 3.3). A nil chain means
 // ideal sensing.
 func (n *NCS) ScoresThrough(x []float64, chain *adc.SenseChain) ([]float64, error) {
+	out := make([]float64, n.cfg.Outputs)
+	if err := n.scoresInto(out, x, chain); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scoresInto is the allocation-free scoring core shared by Scores,
+// ScoresBatch and Evaluate: drive expansion and both per-array reads run
+// in the NCS's reusable scratch buffers.
+func (n *NCS) scoresInto(dst, x []float64, chain *adc.SenseChain) error {
 	if len(x) != n.cfg.Inputs {
-		return nil, errors.New("ncs: input length mismatch")
+		return errors.New("ncs: input length mismatch")
 	}
 	if chain == nil {
 		chain = adc.Ideal()
 	}
 	wp, wn, err := n.effective()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	v := n.driveVector(x)
-	ip := wp.MulVec(v)
-	in := wn.MulVec(v)
+	if len(n.scrV) != n.PhysRows() {
+		n.scrV = make([]float64, n.PhysRows())
+		n.scrIP = make([]float64, n.cfg.Outputs)
+		n.scrIN = make([]float64, n.cfg.Outputs)
+	}
+	n.driveVectorInto(n.scrV, x)
+	wp.MulVecTo(n.scrIP, n.scrV)
+	wn.MulVecTo(n.scrIN, n.scrV)
 	scale := n.codec.Scale(n.cfg.Vread)
-	out := make([]float64, n.cfg.Outputs)
-	for j := range out {
+	for j := range dst {
 		// Differential sensing: the column pair's current difference is
 		// formed in analog and quantized once.
-		out[j] = chain.Sense(ip[j]-in[j]) * scale
+		dst[j] = chain.Sense(n.scrIP[j]-n.scrIN[j]) * scale
+	}
+	return nil
+}
+
+// ScoresBatch computes output scores for a batch of logical input
+// vectors in one call — the digit-batch evaluation path. The effective
+// weights are resolved once for the whole batch and every per-sample
+// buffer is reused, so per-sample cost drops to two matrix-vector
+// products. The returned rows share one backing allocation.
+func (n *NCS) ScoresBatch(xs [][]float64) ([][]float64, error) {
+	out := hw.AllocBatch(len(xs), n.cfg.Outputs)
+	for k, x := range xs {
+		if err := n.scoresInto(out[k], x, n.chain); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -334,18 +372,21 @@ func (n *NCS) Classify(x []float64) (int, error) {
 
 // Evaluate returns the fraction of samples in the set classified
 // correctly (the paper's "test rate" when given test samples and
-// "training rate" when given the training samples).
+// "training rate" when given the training samples). It runs on the
+// batched scoring path: effective weights are resolved once and one
+// score buffer is reused across the whole set, so evaluation allocates
+// nothing per sample.
 func (n *NCS) Evaluate(set *dataset.Set) (float64, error) {
 	if set.Len() == 0 {
 		return 0, errors.New("ncs: empty evaluation set")
 	}
+	scores := make([]float64, n.cfg.Outputs)
 	correct := 0
 	for _, s := range set.Samples {
-		c, err := n.Classify(s.Pixels)
-		if err != nil {
+		if err := n.scoresInto(scores, s.Pixels, n.chain); err != nil {
 			return 0, err
 		}
-		if c == s.Label {
+		if mat.ArgMax(scores) == s.Label {
 			correct++
 		}
 	}

@@ -52,6 +52,7 @@ func (x *Crossbar) AgeTo(t float64) error {
 		x.cells[i].Drift(rel, x.aging.nus[i], t)
 	}
 	x.aging.now = t
+	x.gdirty = true
 	return nil
 }
 

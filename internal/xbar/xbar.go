@@ -55,6 +55,16 @@ type Crossbar struct {
 	stats ProgramStats
 	aging *agingState
 	met   *hw.Metrics
+
+	// Read-path hot state: the conductance snapshot is cached and
+	// refreshed in place only after cells may have changed, and the
+	// parasitic network (with its warm-started solver workspace) is
+	// built once and kept for the crossbar's lifetime. Steady-state
+	// reads therefore allocate nothing and, with wire parasitics, solve
+	// from the previous converged node voltages.
+	gcache *mat.Matrix     // cached observable conductances; nil until first use
+	gdirty bool            // cells may have changed since gcache was filled
+	net    *irdrop.Network // persistent network over gcache (RWire > 0)
 }
 
 // New fabricates a crossbar. All devices start at HRS.
@@ -97,11 +107,15 @@ func (x *Crossbar) Rows() int { return x.cfg.Rows }
 // Cols returns the number of bit lines.
 func (x *Crossbar) Cols() int { return x.cfg.Cols }
 
-// Cell returns a pointer to the device at (i, j).
+// Cell returns a pointer to the device at (i, j). Handing out the
+// pointer means the caller may mutate the device behind the crossbar's
+// back (wear modeling and white-box tests do), so every Cell call
+// conservatively invalidates the cached conductance snapshot.
 func (x *Crossbar) Cell(i, j int) *device.Memristor {
 	if i < 0 || i >= x.cfg.Rows || j < 0 || j >= x.cfg.Cols {
 		panic(fmt.Sprintf("xbar: cell (%d,%d) out of %dx%d", i, j, x.cfg.Rows, x.cfg.Cols))
 	}
+	x.gdirty = true
 	return &x.cells[i*x.cfg.Cols+j]
 }
 
@@ -112,47 +126,109 @@ func (x *Crossbar) Defect(i, j int) device.DefectKind { return x.Cell(i, j).Defe
 // (the fault-injection capability of the hardware layer).
 func (x *Crossbar) SetDefect(i, j int, k device.DefectKind) { x.Cell(i, j).Defect = k }
 
-// Conductances returns the observable conductance matrix (including
-// parametric variation and defects).
-func (x *Crossbar) Conductances() *mat.Matrix {
-	g := mat.NewMatrix(x.cfg.Rows, x.cfg.Cols)
-	for i := 0; i < x.cfg.Rows; i++ {
-		for j := 0; j < x.cfg.Cols; j++ {
-			g.Set(i, j, x.Cell(i, j).Conductance(x.cfg.Model))
-		}
+// conductances returns the cached observable conductance matrix,
+// refreshing it in place when cells may have changed. The returned
+// matrix is shared with the persistent parasitic network — callers must
+// not hold or mutate it; Conductances clones it for the outside world.
+func (x *Crossbar) conductances() *mat.Matrix {
+	if x.gcache == nil {
+		x.gcache = mat.NewMatrix(x.cfg.Rows, x.cfg.Cols)
+		x.gdirty = true
 	}
-	return g
+	if x.gdirty {
+		model := x.cfg.Model
+		for idx := range x.cells {
+			x.gcache.Data[idx] = x.cells[idx].Conductance(model)
+		}
+		x.gdirty = false
+	}
+	return x.gcache
 }
 
-// Network returns the parasitic network view of the crossbar's current
-// state. The network snapshots the conductances; re-derive it after
-// programming.
+// network returns the persistent parasitic network over the cached
+// conductances. The network's solver workspace — Thomas scratch, pooled
+// solution buffers and the warm-start state — survives across reads, so
+// consecutive solves start from the previous converged node voltages.
+func (x *Crossbar) network() *irdrop.Network {
+	g := x.conductances() // refresh the shared matrix first
+	if x.net == nil {
+		x.net = irdrop.NewNetwork(g, x.cfg.RWire)
+	}
+	return x.net
+}
+
+// Conductances returns a snapshot of the observable conductance matrix
+// (including parametric variation and defects). Callers own the
+// returned matrix.
+func (x *Crossbar) Conductances() *mat.Matrix {
+	return x.conductances().Clone()
+}
+
+// Network returns a detached parasitic network view of the crossbar's
+// current state. The network snapshots the conductances (the returned
+// network never tracks later programming) and solves cold — use the
+// crossbar's own Read path for cached, warm-started solves.
 func (x *Crossbar) Network() *irdrop.Network {
 	return irdrop.NewNetwork(x.Conductances(), x.cfg.RWire)
 }
 
 // ReadIdeal returns column currents ignoring wire parasitics.
 func (x *Crossbar) ReadIdeal(v []float64) []float64 {
-	return x.Conductances().MulVec(v)
+	return x.conductances().MulVec(v)
 }
 
 // Read returns the sensed column currents for row voltages v, through the
 // parasitic network when wire resistance is configured.
 func (x *Crossbar) Read(v []float64) ([]float64, error) {
-	start := x.met.Start()
-	var (
-		out []float64
-		err error
-	)
-	if x.cfg.RWire == 0 {
-		out = x.ReadIdeal(v)
-	} else {
-		out, err = x.Network().Read(v)
-	}
-	if err != nil {
+	out := make([]float64, x.cfg.Cols)
+	if err := x.ReadInto(out, v); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// ReadInto computes the sensed column currents for row voltages v into
+// dst — the steady-state hot path. On an unchanged array it allocates
+// nothing: the ideal-wire read is one matrix-vector product against the
+// cached conductances, and the parasitic read runs in the persistent
+// network's workspace, warm-starting from the previous solution.
+func (x *Crossbar) ReadInto(dst, v []float64) error {
+	start := x.met.Start()
+	if err := x.readInto(dst, v); err != nil {
+		return err
+	}
 	x.met.ObserveRead(start)
+	return nil
+}
+
+// readInto is the unobserved read core shared by ReadInto and ReadBatch.
+func (x *Crossbar) readInto(dst, v []float64) error {
+	if x.cfg.RWire == 0 {
+		x.conductances().MulVecTo(dst, v)
+		return nil
+	}
+	nw := x.network()
+	if err := nw.ReadInto(dst, v); err != nil {
+		return err
+	}
+	x.met.ObserveSolverSweeps(nw.Sweeps())
+	return nil
+}
+
+// ReadBatch reads a batch of input vectors in one call. The conductance
+// refresh, network setup and metrics probe are paid once for the whole
+// batch, and with wire parasitics every solve after the first
+// warm-starts from its predecessor. The returned rows share one backing
+// allocation.
+func (x *Crossbar) ReadBatch(vins [][]float64) ([][]float64, error) {
+	start := x.met.Start()
+	out := hw.AllocBatch(len(vins), x.cfg.Cols)
+	for k, v := range vins {
+		if err := x.readInto(out[k], v); err != nil {
+			return nil, err
+		}
+	}
+	x.met.ObserveBatchRead(start, len(vins))
 	return out, nil
 }
 
@@ -160,7 +236,10 @@ func (x *Crossbar) Read(v []float64) ([]float64, error) {
 // crossbar state (see irdrop.EffectiveWeights). For an ideal crossbar it
 // is the conductance matrix itself.
 func (x *Crossbar) EffectiveWeights() (*mat.Matrix, error) {
-	return x.Network().EffectiveWeights()
+	if x.cfg.RWire == 0 {
+		return x.Conductances(), nil
+	}
+	return x.network().EffectiveWeights()
 }
 
 // CellPulse addresses one device with a pre-computed pulse.
@@ -181,7 +260,11 @@ func (x *Crossbar) ProgramBatch(pulses []CellPulse, opts ProgramOptions) error {
 	m, n := x.cfg.Rows, x.cfg.Cols
 	var nw *irdrop.Network
 	if x.cfg.RWire > 0 {
-		nw = x.Network()
+		// The persistent network: its conductances are refreshed here and
+		// then stay fixed for the batch, so every delivered voltage is
+		// solved against the state at the start of the batch (the same
+		// contract as before; the solver scratch is just pooled now).
+		nw = x.network()
 	}
 	// Disturb accumulators: per-row and per-column half-select exposure
 	// seconds, split by polarity, plus the per-cell self exposure to
@@ -250,6 +333,7 @@ func (x *Crossbar) ProgramBatch(pulses []CellPulse, opts ProgramOptions) error {
 	if x.cfg.Disturb {
 		x.applyDisturb(rowSet, rowReset, colSet, colReset, selfSet, selfReset)
 	}
+	x.gdirty = true
 	x.met.ObserveProgram(start, x.stats.Pulses-pulsesBefore)
 	return nil
 }
@@ -317,6 +401,7 @@ func (x *Crossbar) ResetAll() {
 	for i := range x.cells {
 		x.cells[i].X = x.cfg.Model.XMax()
 	}
+	x.gdirty = true
 }
 
 // Pretest implements AMP pre-testing (paper Sec. 4.2.1): every device is
@@ -387,4 +472,5 @@ func (x *Crossbar) InjectVariation(sigma float64, src *rng.Source) {
 			x.cells[i].Theta = 0
 		}
 	}
+	x.gdirty = true
 }
