@@ -19,7 +19,7 @@ test-short:
 race:
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/hw/
-	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep|TestRegistry|TestRunners'
+	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep|TestRegistry|TestRunners|TestTrial|TestRetry|TestPanic|TestPartial|TestCheckpoint|TestFatal|TestSaveTrial|TestNonPartial'
 	$(GO) test -race ./internal/fault/
 
 # Regenerates every paper table/figure plus the extension studies at

@@ -9,6 +9,18 @@
 //	vortexsim -exp fig2 [-scale quick|default|full] [-seed N] [-timeout D]
 //	vortexsim -exp all -scale default
 //
+// Long sweeps (crash safety):
+//
+//	-checkpoint-dir D  persist each completed Monte-Carlo trial; a rerun
+//	                   of the same experiment/scale/seed resumes, skipping
+//	                   completed trials, with byte-identical output
+//	-partial           degrade instead of failing: on timeout, interrupt
+//	                   or exhausted retries, print the completed trials
+//	                   with NA cells for the missing ones
+//	-retries N         total attempts per trial (default 1 = no retries)
+//	-retry-backoff D   base delay before the first retry, doubling per
+//	                   retry (capped)
+//
 // Observability:
 //
 //	-v / -log-level   structured logs (per-phase spans, live progress)
@@ -17,7 +29,9 @@
 //	-pprof ADDR       serve net/http/pprof and expvar for live profiling
 //
 // Exit codes: 0 success, 1 driver failure, 2 usage error, 124 the
-// -timeout deadline expired, 130 interrupted by Ctrl-C.
+// -timeout deadline expired, 130 interrupted by Ctrl-C. On 124/130 with
+// -checkpoint-dir set, the final checkpoint is flushed and the resume
+// command is printed before exiting.
 package main
 
 import (
@@ -63,6 +77,11 @@ func run() int {
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 		metrics   = flag.String("metrics", "", "write the final metrics-registry snapshot as JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+
+		checkpointDir = flag.String("checkpoint-dir", "", "persist completed trials here and resume an interrupted run of the same experiment/scale/seed")
+		partial       = flag.Bool("partial", false, "on timeout, interrupt or exhausted retries, print completed trials with NA cells instead of failing")
+		retries       = flag.Int("retries", 1, "total attempts per Monte-Carlo trial (1 = no retries)")
+		retryBackoff  = flag.Duration("retry-backoff", 10*time.Millisecond, "base delay before the first retry, doubling per retry (capped at 2s)")
 	)
 	flag.Parse()
 
@@ -155,6 +174,16 @@ func run() int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// The resilient-execution config rides the context into every
+	// registered runner: checkpointing, degradation and retry policy.
+	ctx = experiment.WithRunConfig(ctx, experiment.RunConfig{
+		CheckpointDir: *checkpointDir,
+		Partial:       *partial,
+		Retry: experiment.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseBackoff: *retryBackoff,
+		},
+	})
 
 	wallStart := time.Now()
 	code := exitOK
@@ -176,8 +205,21 @@ func run() int {
 		}
 		fmt.Printf("[%s in %v]\n\n", r.Name, time.Since(start).Round(time.Millisecond))
 	}
+	if code == exitOK && ctx.Err() != nil {
+		// -partial absorbed the timeout/interrupt inside the drivers and
+		// rendered degraded tables; the exit code still reports the abort.
+		code = abortCode(ctx.Err(), ctx, *timeout, time.Since(wallStart), log)
+	}
 	if code == exitOK {
 		log.Info("run complete", "experiments", len(toRun), "elapsed", time.Since(wallStart).Round(time.Millisecond))
+	}
+	if *checkpointDir != "" && (code == exitTimeout || code == exitInterrupt) {
+		// The registry decoration flushed the final checkpoint on the way
+		// out; tell the user how to pick the sweep back up.
+		resume := fmt.Sprintf("vortexsim -exp %s -scale %s -seed %d -checkpoint-dir %s",
+			*exp, sc, *seed, *checkpointDir)
+		fmt.Fprintf(os.Stderr, "vortexsim: checkpoints retained; resume with: %s\n", resume)
+		log.Info("resume command", "cmd", resume)
 	}
 
 	// The snapshot is written even after a timeout or interrupt: the

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -94,7 +95,7 @@ func main() {
 		rep.Stuck, rep.LineOpens, rep.OpenCells, 100*struck)
 
 	// Detect: the cheap two-target health scan.
-	fmap, err := fault.Scan(sys, fault.ScanOptions{})
+	fmap, err := fault.Scan(context.Background(), sys, fault.ScanOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func main() {
 		100*fmap.DeadFraction())
 
 	// Repair: remap around (or onto!) the casualties, reprogram, verify.
-	out, err := fault.Repair(sys, vres.Weights, fault.Policy{
+	out, err := fault.Repair(context.Background(), sys, vres.Weights, fault.Policy{
 		Verify: xbar.VerifyOptions{TolLog: 0.02, MaxIter: 5},
 	})
 	if err != nil {

@@ -1,0 +1,268 @@
+package experiment
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCheckpointStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openCheckpoint(dir, "exp", Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.put(0, 4, 2, json.RawMessage(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.put(0, 4, 0, json.RawMessage(`{"v":0}`)); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store on the same identity sees both trials.
+	s2, err := openCheckpoint(dir, "exp", Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s2.resume(0, 4)
+	if len(got) != 2 {
+		t.Fatalf("resumed %d trials, want 2", len(got))
+	}
+	if string(got[2]) != `{"v":2}` {
+		t.Fatalf("trial 2 = %s", got[2])
+	}
+	if s2.trials() != 2 {
+		t.Fatalf("trials() = %d, want 2", s2.trials())
+	}
+}
+
+func TestCheckpointIdentityMismatchIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openCheckpoint(dir, "exp", Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.put(0, 4, 1, json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	// Same file path can only collide via a hand-edited header; simulate
+	// a stale seed by rewriting it.
+	raw, err := os.ReadFile(s.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	f.Seed = 99
+	raw, _ = json.Marshal(&f)
+	if err := os.WriteFile(s.path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := openCheckpoint(dir, "exp", Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.resume(0, 4); len(got) != 0 {
+		t.Fatalf("mismatched checkpoint resumed %d trials, want 0", len(got))
+	}
+}
+
+func TestCheckpointCorruptFileIgnored(t *testing.T) {
+	dir := t.TempDir()
+	path := checkpointPath(dir, "exp", Quick, 42)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := openCheckpoint(dir, "exp", Quick, 42)
+	if err != nil {
+		t.Fatalf("a corrupt checkpoint must not fail the run: %v", err)
+	}
+	if got := s.resume(0, 4); len(got) != 0 {
+		t.Fatal("corrupt checkpoint must start fresh")
+	}
+}
+
+func TestCheckpointGridSizeMismatchDropsSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openCheckpoint(dir, "exp", Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.put(0, 4, 1, json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	// The code (or scale) changed the grid underneath the checkpoint.
+	if got := s.resume(0, 8); got != nil {
+		t.Fatalf("resume with a different grid returned %d trials, want none", len(got))
+	}
+}
+
+func TestCheckpointRemove(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openCheckpoint(dir, "exp", Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.put(0, 2, 0, json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("checkpoint file must be gone after remove")
+	}
+	// Removing twice is fine.
+	if err := s.remove(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelTrialsResumesFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() (*sweepState, context.Context) {
+		st := newSweepState("exp", Quick, 7, RunConfig{CheckpointDir: dir})
+		store, err := openCheckpoint(dir, "exp", Quick, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.store = store
+		return st, withSweepState(context.Background(), st)
+	}
+
+	// First pass: complete half the grid, then die (simulated by only
+	// dispatching a sweep whose fn fails past the midpoint in partial
+	// mode — the completed half is persisted).
+	st, ctx := mk()
+	st.cfg.Partial = true
+	_, done, err := parallelTrials(ctx, 10, func(tr Trial) (int, error) {
+		if tr.Index >= 5 {
+			return 0, errors.New("simulated crash")
+		}
+		return tr.Index * 100, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := 0
+	for i := 0; i < 5; i++ {
+		if done[i] {
+			saved++
+		}
+	}
+	if saved != 5 {
+		t.Fatalf("completed %d of the first five trials, want 5", saved)
+	}
+
+	// Second pass: a fresh state on the same identity replays the stored
+	// trials without recomputing them.
+	_, ctx2 := mk()
+	var recomputed atomic.Int64
+	vals, done2, err := parallelTrials(ctx2, 10, func(tr Trial) (int, error) {
+		recomputed.Add(1)
+		return tr.Index * 100, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range done2 {
+		if !done2[i] || vals[i] != i*100 {
+			t.Fatalf("trial %d after resume: done=%v val=%d", i, done2[i], vals[i])
+		}
+	}
+	if got := recomputed.Load(); got != 5 {
+		t.Fatalf("resume recomputed %d trials, want only the 5 missing", got)
+	}
+}
+
+func TestSaveTrialRejectsUnexportedFields(t *testing.T) {
+	type sneaky struct{ hidden int }
+	dir := t.TempDir()
+	st := newSweepState("exp", Quick, 1, RunConfig{CheckpointDir: dir})
+	store, err := openCheckpoint(dir, "exp", Quick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.store = store
+	saveTrial(st, 0, 1, 0, sneaky{hidden: 3})
+	if st.checkpoint() != nil {
+		t.Fatal("a trial type that does not survive a JSON round trip must disable the store")
+	}
+	if store.trials() != 0 {
+		t.Fatal("the lossy trial must not have been persisted")
+	}
+}
+
+// TestFaultResumeCSVIdentical is the acceptance-criteria end-to-end:
+// a quick-scale faults sweep killed at ~50% and resumed from its
+// checkpoint must produce byte-identical CSV to an uninterrupted run.
+func TestFaultResumeCSVIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end resume test (full quick-scale sweep)")
+	}
+	runner, ok := Lookup("faults")
+	if !ok {
+		t.Fatal("faults runner not registered")
+	}
+	const seed = 42
+
+	// Reference: one uninterrupted run, no checkpointing.
+	ref, err := runner.Run(context.Background(), Quick, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel via the progress sink once half the trials
+	// of the (single) sweep completed.
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	prevSink := SetProgress(func(done, total int, eta time.Duration) {
+		if done >= total/2 && done < total {
+			cancel()
+		}
+	})
+	prevEvery := SetProgressInterval(0)
+	cfg := RunConfig{CheckpointDir: dir}
+	_, err = runner.Run(WithRunConfig(ctx, cfg), Quick, seed)
+	SetProgress(prevSink)
+	SetProgressInterval(prevEvery)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.ckpt.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("checkpoint files after kill: %v (err %v), want exactly one", files, err)
+	}
+
+	// Resume with a live context: stored trials replay, the rest run.
+	res, err := runner.Run(WithRunConfig(context.Background(), cfg), Quick, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CSV() != ref.CSV() {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\nresumed:\n%s\nuninterrupted:\n%s",
+			res.CSV(), ref.CSV())
+	}
+	if res.Table() != ref.Table() {
+		t.Fatal("resumed Table differs from uninterrupted run")
+	}
+	// A complete resumed run cleans up after itself.
+	files, _ = filepath.Glob(filepath.Join(dir, "*.ckpt.json"))
+	if len(files) != 0 {
+		t.Fatalf("checkpoint files after complete resume: %v, want none", files)
+	}
+	// And it is annotated as complete, not partial.
+	if rr, ok := res.(*RunResult); ok && rr.Missing != 0 {
+		t.Fatalf("resumed run reports %d missing trials, want 0", rr.Missing)
+	}
+}

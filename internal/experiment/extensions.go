@@ -74,6 +74,9 @@ func Schemes(ctx context.Context, scale Scale, seed uint64) (*SchemesResult, err
 	res := &SchemesResult{Sigmas: sigmas}
 	for si, sigma := range sigmas {
 		if err := ctx.Err(); err != nil {
+			if partialSweep(ctx) {
+				break // render the sigmas already swept; the rest pad to NA
+			}
 			return nil, err
 		}
 		var old, pv, cld, vortex float64
@@ -142,6 +145,10 @@ func Schemes(ctx context.Context, scale Scale, seed uint64) (*SchemesResult, err
 		res.CLD = append(res.CLD, cld/k)
 		res.Vortex = append(res.Vortex, vortex/k)
 	}
+	res.OLD = padNaN(res.OLD, len(sigmas))
+	res.PV = padNaN(res.PV, len(sigmas))
+	res.CLD = padNaN(res.CLD, len(sigmas))
+	res.Vortex = padNaN(res.Vortex, len(sigmas))
 	return res, nil
 }
 
@@ -205,6 +212,9 @@ func Defects(ctx context.Context, scale Scale, seed uint64) (*DefectsResult, err
 
 	for ri, defectRate := range rates {
 		if err := ctx.Err(); err != nil {
+			if partialSweep(ctx) {
+				break // render the rates already swept; the rest pad to NA
+			}
 			return nil, err
 		}
 		var withAMP, withoutAMP float64
@@ -244,6 +254,8 @@ func Defects(ctx context.Context, scale Scale, seed uint64) (*DefectsResult, err
 		res.WithAMP = append(res.WithAMP, withAMP/float64(p.mcRuns))
 		res.WithoutAMP = append(res.WithoutAMP, withoutAMP/float64(p.mcRuns))
 	}
+	res.WithAMP = padNaN(res.WithAMP, len(rates))
+	res.WithoutAMP = padNaN(res.WithoutAMP, len(rates))
 	return res, nil
 }
 

@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"vortex/internal/core"
 	"vortex/internal/fault"
@@ -61,10 +62,13 @@ func init() {
 	})
 }
 
-// faultTrial is one Monte-Carlo point of the sweep.
+// faultTrial is one Monte-Carlo point of the sweep. Fields are exported
+// so completed trials round-trip through the JSON checkpoint store.
 type faultTrial struct {
-	old, vortex, repaired float64
-	degraded              bool
+	Old      float64 `json:"old"`
+	Vortex   float64 `json:"vortex"`
+	Repaired float64 `json:"repaired"`
+	Degraded bool    `json:"degraded"`
 }
 
 // FaultSweep evaluates how the schemes degrade when cells convert to
@@ -74,8 +78,9 @@ type faultTrial struct {
 // the trained weights and mapping), hit with the identical fault
 // pattern (injectors seeded alike), and evaluated; the repair arm then
 // runs fault.Repair with the trained weights before its evaluation.
-// Trials run concurrently via parallelMap and are deterministic in
-// (scale, seed).
+// Trials run concurrently via parallelTrials and are deterministic in
+// (scale, seed); under a checkpointing run each completed trial is
+// persisted and replayed on resume.
 func FaultSweep(ctx context.Context, scale Scale, seed uint64) (*FaultSweepResult, error) {
 	p := protoFor(scale)
 	trainSet, testSet, err := digitSets(p, seed)
@@ -90,7 +95,8 @@ func FaultSweep(ctx context.Context, scale Scale, seed uint64) (*FaultSweepResul
 	redundancy := trainSet.Features() / 8
 	res := &FaultSweepResult{Sigma: sigma, Redundancy: redundancy, MCRuns: p.mcRuns}
 
-	trials, err := parallelMap(ctx, len(rates)*p.mcRuns, func(i int) (faultTrial, error) {
+	trials, completed, err := parallelTrials(ctx, len(rates)*p.mcRuns, func(tr Trial) (faultTrial, error) {
+		i := tr.Index
 		ri, mc := i/p.mcRuns, i%p.mcRuns
 		rate := rates[ri]
 		base := seed + uint64(2000*ri+131*mc)
@@ -116,7 +122,7 @@ func FaultSweep(ctx context.Context, scale Scale, seed uint64) (*FaultSweepResul
 		if err := strike(n1); err != nil {
 			return t, err
 		}
-		if t.old, err = n1.Evaluate(testSet); err != nil {
+		if t.Old, err = n1.Evaluate(testSet); err != nil {
 			return t, err
 		}
 
@@ -138,7 +144,7 @@ func FaultSweep(ctx context.Context, scale Scale, seed uint64) (*FaultSweepResul
 		if err := strike(n2); err != nil {
 			return t, err
 		}
-		if t.vortex, err = n2.Evaluate(testSet); err != nil {
+		if t.Vortex, err = n2.Evaluate(testSet); err != nil {
 			return t, err
 		}
 
@@ -158,14 +164,14 @@ func FaultSweep(ctx context.Context, scale Scale, seed uint64) (*FaultSweepResul
 		if err := strike(n3); err != nil {
 			return t, err
 		}
-		out, err := fault.Repair(n3, vres.Weights, fault.Policy{
+		out, err := fault.Repair(ctx, n3, vres.Weights, fault.Policy{
 			Verify: hw.VerifyOptions{TolLog: 0.02, MaxIter: 5},
 		})
 		if err != nil {
 			return t, err
 		}
-		t.degraded = out.Degraded
-		if t.repaired, err = n3.Evaluate(testSet); err != nil {
+		t.Degraded = out.Degraded
+		if t.Repaired, err = n3.Evaluate(testSet); err != nil {
 			return t, err
 		}
 		return t, nil
@@ -174,19 +180,33 @@ func FaultSweep(ctx context.Context, scale Scale, seed uint64) (*FaultSweepResul
 		return nil, err
 	}
 
+	// Aggregate per-rate means over the trials that completed; a partial
+	// run leaves holes, and a rate cell with no completed trials at all
+	// renders NA (NaN).
 	for ri := range rates {
-		var old, vor, rep, deg float64
+		var old, vor, rep, deg, k float64
 		for mc := 0; mc < p.mcRuns; mc++ {
+			if !completed[ri*p.mcRuns+mc] {
+				continue
+			}
 			t := trials[ri*p.mcRuns+mc]
-			old += t.old
-			vor += t.vortex
-			rep += t.repaired
-			if t.degraded {
+			old += t.Old
+			vor += t.Vortex
+			rep += t.Repaired
+			if t.Degraded {
 				deg++
 			}
+			k++
 		}
-		k := float64(p.mcRuns)
 		res.Rates = append(res.Rates, rates[ri])
+		if k == 0 {
+			nan := math.NaN()
+			res.OLD = append(res.OLD, nan)
+			res.Vortex = append(res.Vortex, nan)
+			res.Repaired = append(res.Repaired, nan)
+			res.Degraded = append(res.Degraded, nan)
+			continue
+		}
 		res.OLD = append(res.OLD, old/k)
 		res.Vortex = append(res.Vortex, vor/k)
 		res.Repaired = append(res.Repaired, rep/k)

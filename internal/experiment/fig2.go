@@ -80,11 +80,20 @@ func Fig2(ctx context.Context, scale Scale, seed uint64) (*Fig2Result, error) {
 	}
 	vin := mat.Constant(fig2Cells, fig2Vin)
 
-	type runErrs struct{ old, cld float64 }
+	// Exported fields so completed runs round-trip through the JSON
+	// checkpoint store.
+	type runErrs struct {
+		Old float64 `json:"old"`
+		Cld float64 `json:"cld"`
+	}
 	for si, sigma := range sigmas {
 		sigma := sigma
 		si := si
-		results, err := parallelMap(ctx, runs, func(run int) (runErrs, error) {
+		if partialBreak(ctx) {
+			break // render the sigmas already swept; the rest pad to NA
+		}
+		results, completed, err := parallelTrials(ctx, runs, func(t Trial) (runErrs, error) {
+			run := t.Index
 			src := rng.New(seed ^ uint64(si)<<40 ^ uint64(run)*0x9e3779b97f4a7c15)
 			// The sense chain holds no state, but give each worker its
 			// own to keep the data-race detector quiet about the shared
@@ -121,16 +130,28 @@ func Fig2(ctx context.Context, scale Scale, seed uint64) (*Fig2Result, error) {
 			if i, err = readColumn(xb, vin); err != nil {
 				return runErrs{}, err
 			}
-			return runErrs{old: oldErr, cld: math.Abs(i-fig2Target) / fig2Target}, nil
+			return runErrs{Old: oldErr, Cld: math.Abs(i-fig2Target) / fig2Target}, nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		oldErr := make([]float64, runs)
-		cldErr := make([]float64, runs)
+		// Statistics over the runs that completed; a partial run with no
+		// completed trials at this sigma renders NA.
+		oldErr := make([]float64, 0, runs)
+		cldErr := make([]float64, 0, runs)
 		for r, v := range results {
-			oldErr[r] = v.old
-			cldErr[r] = v.cld
+			if completed[r] {
+				oldErr = append(oldErr, v.Old)
+				cldErr = append(cldErr, v.Cld)
+			}
+		}
+		if len(oldErr) == 0 {
+			nan := math.NaN()
+			res.OLDMean = append(res.OLDMean, nan)
+			res.OLDStd = append(res.OLDStd, nan)
+			res.CLDMean = append(res.CLDMean, nan)
+			res.CLDStd = append(res.CLDStd, nan)
+			continue
 		}
 		om, os := stats.MeanStd(oldErr)
 		cm, cs := stats.MeanStd(cldErr)
@@ -139,6 +160,10 @@ func Fig2(ctx context.Context, scale Scale, seed uint64) (*Fig2Result, error) {
 		res.CLDMean = append(res.CLDMean, cm)
 		res.CLDStd = append(res.CLDStd, cs)
 	}
+	res.OLDMean = padNaN(res.OLDMean, len(sigmas))
+	res.OLDStd = padNaN(res.OLDStd, len(sigmas))
+	res.CLDMean = padNaN(res.CLDMean, len(sigmas))
+	res.CLDStd = padNaN(res.CLDStd, len(sigmas))
 	return res, nil
 }
 

@@ -71,6 +71,9 @@ func Fig3(ctx context.Context, scale Scale, _ uint64) (*Fig3Result, error) {
 	res := &Fig3Result{RowsList: sizes, RWire: 2.5}
 	for _, m := range sizes {
 		if err := ctx.Err(); err != nil {
+			if partialSweep(ctx) {
+				break // render the sizes already swept; the rest pad to NA
+			}
 			return nil, err
 		}
 		g := mat.NewMatrix(m, 10)
@@ -110,5 +113,9 @@ func Fig3(ctx context.Context, scale Scale, _ uint64) (*Fig3Result, error) {
 			res.Crossover = m
 		}
 	}
+	res.Beta = padNaN(res.Beta, len(sizes))
+	res.DSkew = padNaN(res.DSkew, len(sizes))
+	res.VTop = padNaN(res.VTop, len(sizes))
+	res.VBottom = padNaN(res.VBottom, len(sizes))
 	return res, nil
 }

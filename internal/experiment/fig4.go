@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"vortex/internal/dataset"
 	"vortex/internal/hw"
@@ -83,6 +84,9 @@ func Fig4(ctx context.Context, scale Scale, seed uint64) (*Fig4Result, error) {
 
 	for _, gamma := range gammas {
 		if err := ctx.Err(); err != nil {
+			if partialSweep(ctx) {
+				break // render the gammas already swept; the rest pad to NA
+			}
 			return nil, err
 		}
 		w, err := opt.TrainAll(xTrain, lTrain, dataset.NumClasses, gamma, rho, p.sgd, src.Split())
@@ -110,14 +114,24 @@ func Fig4(ctx context.Context, scale Scale, seed uint64) (*Fig4Result, error) {
 		}
 		res.TestWithVar = append(res.TestWithVar, sum/float64(p.mcRuns))
 	}
-	best := 0
+	res.TrainRate = padNaN(res.TrainRate, len(gammas))
+	res.TestClean = padNaN(res.TestClean, len(gammas))
+	res.TestWithVar = padNaN(res.TestWithVar, len(gammas))
+	// NaN-aware argmax: a partial run picks the peak among the measured
+	// gammas (if any measurement completed at all).
+	best := -1
 	for i, v := range res.TestWithVar {
-		if v > res.TestWithVar[best] {
+		if !math.IsNaN(v) && (best < 0 || v > res.TestWithVar[best]) {
 			best = i
 		}
 	}
-	res.BestGamma = gammas[best]
-	res.BestTestRate = res.TestWithVar[best]
+	if best >= 0 {
+		res.BestGamma = gammas[best]
+		res.BestTestRate = res.TestWithVar[best]
+	} else {
+		res.BestGamma = math.NaN()
+		res.BestTestRate = math.NaN()
+	}
 	return res, nil
 }
 

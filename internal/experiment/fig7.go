@@ -3,6 +3,7 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"vortex/internal/core"
 	"vortex/internal/dataset"
@@ -84,6 +85,9 @@ func Fig7(ctx context.Context, scale Scale, seed uint64) (*Fig7Result, error) {
 
 	for _, gamma := range gammas {
 		if err := ctx.Err(); err != nil {
+			if partialSweep(ctx) {
+				break // render the gammas already swept; the rest pad to NA
+			}
 			return nil, err
 		}
 		w, err := opt.TrainAll(xTrain, lTrain, dataset.NumClasses, gamma, rho, p.sgd, src.Split())
@@ -137,17 +141,27 @@ func Fig7(ctx context.Context, scale Scale, seed uint64) (*Fig7Result, error) {
 		res.TestBeforeAMP = append(res.TestBeforeAMP, sumBefore/float64(p.mcRuns))
 		res.TestAfterAMP = append(res.TestAfterAMP, sumAfter/float64(p.mcRuns))
 	}
-	bi, ai := 0, 0
+	res.TrainRate = padNaN(res.TrainRate, len(gammas))
+	res.TestBeforeAMP = padNaN(res.TestBeforeAMP, len(gammas))
+	res.TestAfterAMP = padNaN(res.TestAfterAMP, len(gammas))
+	// NaN-aware argmax so a partial run still picks peaks among the
+	// gammas that were measured.
+	bi, ai := -1, -1
 	for i := range gammas {
-		if res.TestBeforeAMP[i] > res.TestBeforeAMP[bi] {
+		if !math.IsNaN(res.TestBeforeAMP[i]) && (bi < 0 || res.TestBeforeAMP[i] > res.TestBeforeAMP[bi]) {
 			bi = i
 		}
-		if res.TestAfterAMP[i] > res.TestAfterAMP[ai] {
+		if !math.IsNaN(res.TestAfterAMP[i]) && (ai < 0 || res.TestAfterAMP[i] > res.TestAfterAMP[ai]) {
 			ai = i
 		}
 	}
-	res.BestGammaBefore = gammas[bi]
-	res.BestGammaAfter = gammas[ai]
+	res.BestGammaBefore, res.BestGammaAfter = math.NaN(), math.NaN()
+	if bi >= 0 {
+		res.BestGammaBefore = gammas[bi]
+	}
+	if ai >= 0 {
+		res.BestGammaAfter = gammas[ai]
+	}
 	return res, nil
 }
 

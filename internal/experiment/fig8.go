@@ -78,6 +78,9 @@ func Fig8(ctx context.Context, scale Scale, seed uint64) (*Fig8Result, error) {
 
 	for si, sigma := range sigmas {
 		if err := ctx.Err(); err != nil {
+			if partialSweep(ctx) {
+				break // render the sigma rows already swept
+			}
 			return nil, err
 		}
 		// Pick gamma once per sigma with the software self-tuning scan.
@@ -114,5 +117,8 @@ func Fig8(ctx context.Context, scale Scale, seed uint64) (*Fig8Result, error) {
 		}
 		res.Saturate = append(res.Saturate, sat)
 	}
+	// A partial run rendered only the completed sigma rows; shrink the
+	// axis so the table stays rectangular.
+	res.Sigmas = res.Sigmas[:len(res.Rate)]
 	return res, nil
 }

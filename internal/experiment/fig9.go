@@ -89,6 +89,9 @@ func Fig9(ctx context.Context, scale Scale, seed uint64) (*Fig9Result, error) {
 
 	for si, sigma := range sigmas {
 		if err := ctx.Err(); err != nil {
+			if partialSweep(ctx) {
+				break // render the sigma rows already swept
+			}
 			return nil, err
 		}
 		// One software gamma scan per sigma, reused across the p sweep.
@@ -145,11 +148,17 @@ func Fig9(ctx context.Context, scale Scale, seed uint64) (*Fig9Result, error) {
 		res.OLD = append(res.OLD, oldSum/float64(p.mcRuns))
 		res.CLD = append(res.CLD, cldSum/float64(p.mcRuns))
 	}
-	for si := range sigmas {
+	// A partial run rendered only the completed sigma rows; shrink the
+	// axis so the table stays rectangular and average the gains over the
+	// rows that exist.
+	res.Sigmas = res.Sigmas[:len(res.Vortex)]
+	for si := range res.Sigmas {
 		res.AvgGainOverOLD += res.Vortex[si][0] - res.OLD[si]
 		res.AvgGainOverCLD += res.Vortex[si][0] - res.CLD[si]
 	}
-	res.AvgGainOverOLD /= float64(len(sigmas))
-	res.AvgGainOverCLD /= float64(len(sigmas))
+	if len(res.Sigmas) > 0 {
+		res.AvgGainOverOLD /= float64(len(res.Sigmas))
+		res.AvgGainOverCLD /= float64(len(res.Sigmas))
+	}
 	return res, nil
 }

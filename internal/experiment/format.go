@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -74,11 +75,43 @@ func csvTable(header []string, rows [][]string) string {
 	return b.String()
 }
 
-// pct formats a rate as a percentage with one decimal.
-func pct(x float64) string { return fmt.Sprintf("%.1f", 100*x) }
+// naCell is how a missing-data cell renders in tables and CSV. Partial
+// runs (-partial) mark trials lost to timeouts or exhausted retries as
+// NaN; every numeric cell formatter maps NaN to this marker so degraded
+// output is explicit rather than silently wrong.
+const naCell = "NA"
 
-// f3 formats a float with three decimals.
-func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+// pct formats a rate as a percentage with one decimal; NaN renders NA.
+func pct(x float64) string {
+	if math.IsNaN(x) {
+		return naCell
+	}
+	return fmt.Sprintf("%.1f", 100*x)
+}
 
-// sci formats a float in compact scientific notation for table cells.
-func sci(x float64) string { return fmt.Sprintf("%.3g", x) }
+// f3 formats a float with three decimals; NaN renders NA.
+func f3(x float64) string {
+	if math.IsNaN(x) {
+		return naCell
+	}
+	return fmt.Sprintf("%.3f", x)
+}
+
+// sci formats a float in compact scientific notation for table cells;
+// NaN renders NA.
+func sci(x float64) string {
+	if math.IsNaN(x) {
+		return naCell
+	}
+	return fmt.Sprintf("%.3g", x)
+}
+
+// padNaN extends xs with NaN up to length n: a partial run that breaks
+// out of its row loop early pads the unreached cells so pre-filled axes
+// and appended columns stay the same length.
+func padNaN(xs []float64, n int) []float64 {
+	for len(xs) < n {
+		xs = append(xs, math.NaN())
+	}
+	return xs
+}

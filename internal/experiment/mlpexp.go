@@ -92,6 +92,9 @@ func MLP(ctx context.Context, scale Scale, seed uint64) (*MLPResult, error) {
 
 	for si, sigma := range sigmas {
 		if err := ctx.Err(); err != nil {
+			if partialSweep(ctx) {
+				break // render the sigmas already swept; the rest pad to NA
+			}
 			return nil, err
 		}
 		sigma := sigma
@@ -144,5 +147,8 @@ func MLP(ctx context.Context, scale Scale, seed uint64) (*MLPResult, error) {
 		res.MLPPlain = append(res.MLPPlain, plain)
 		res.MLPInjected = append(res.MLPInjected, inj)
 	}
+	res.Linear = padNaN(res.Linear, len(sigmas))
+	res.MLPPlain = padNaN(res.MLPPlain, len(sigmas))
+	res.MLPInjected = padNaN(res.MLPInjected, len(sigmas))
 	return res, nil
 }

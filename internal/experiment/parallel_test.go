@@ -166,8 +166,16 @@ func TestParallelMapPropagatesError(t *testing.T) {
 		}
 		return i, nil
 	})
-	if err != boom {
+	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
+	}
+	// The wrapper attributes the failure to the trial that raised it.
+	var te *TrialError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T, want *TrialError", err)
+	}
+	if te.Index != 17 {
+		t.Fatalf("TrialError.Index = %d, want 17", te.Index)
 	}
 }
 
@@ -184,7 +192,7 @@ func TestParallelMapErrorCancelsRemaining(t *testing.T) {
 		}
 		return i, nil
 	})
-	if err != boom {
+	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if got := count.Load(); got == int64(n) {

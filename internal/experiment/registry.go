@@ -51,6 +51,20 @@ type RunResult struct {
 	// accumulate across runs in one process; diff two snapshots to
 	// isolate a single run.
 	Metrics obs.Snapshot
+	// Missing counts the trials abandoned in partial mode; zero for a
+	// complete run. A nonzero count means the tables contain NA cells.
+	Missing int64
+}
+
+// Annotation extends the driver's annotation with the partial-run
+// warning when trials are missing, so every rendering of a degraded
+// result says so explicitly.
+func (r *RunResult) Annotation() string {
+	a := r.Result.Annotation()
+	if r.Missing > 0 {
+		a += fmt.Sprintf("PARTIAL RESULT: %d trial(s) missing; NA cells are unsimulated\n", r.Missing)
+	}
+	return a
 }
 
 // Unwrap returns the driver's undecorated result.
@@ -75,22 +89,62 @@ func register(r Runner) {
 }
 
 // instrumentRun wraps a driver entry point with the span, logging and
-// result decoration every registered experiment gets.
+// result decoration every registered experiment gets, plus the
+// resilient-execution setup: it picks up the WithRunConfig config,
+// opens the checkpoint store, and installs the per-run sweep state that
+// parallelTrials reads for panic isolation, retries, checkpointing and
+// partial degradation.
 func instrumentRun(name string, run func(context.Context, Scale, uint64) (Result, error)) func(context.Context, Scale, uint64) (Result, error) {
 	return func(ctx context.Context, scale Scale, seed uint64) (Result, error) {
 		log := obs.Logger()
 		log.Info("experiment start", "exp", name, "scale", scale.String(), "seed", seed)
+		cfg, _ := runConfigFrom(ctx)
+		st := newSweepState(name, scale, seed, cfg)
+		if cfg.CheckpointDir != "" {
+			store, err := openCheckpoint(cfg.CheckpointDir, name, scale, seed)
+			if err != nil {
+				// Checkpointing is an accelerator, not a correctness
+				// requirement: warn and run without it.
+				log.Warn("running without checkpointing", "exp", name, "err", err)
+			} else {
+				st.store = store
+				if k := store.trials(); k > 0 {
+					log.Info("resuming from checkpoint", "exp", name,
+						"file", store.path, "trials", k)
+				}
+			}
+		}
+		ctx = withSweepState(ctx, st)
 		sp := obs.StartSpan("experiment." + name)
 		res, err := run(ctx, scale, seed)
 		elapsed := sp.End()
 		if err != nil {
 			obs.Default().Counter("experiment.failures").Inc()
 			log.Warn("experiment failed", "exp", name, "elapsed", elapsed, "err", err)
+			if store := st.checkpoint(); store != nil {
+				// Keep the completed trials: the next run resumes from them.
+				if ferr := store.flush(); ferr == nil {
+					log.Info("checkpoint retained", "exp", name, "file", store.path,
+						"trials", store.trials())
+				}
+			}
 			return nil, err
 		}
+		missing := st.missing.Load()
+		if store := st.checkpoint(); store != nil {
+			if missing == 0 {
+				if rerr := store.remove(); rerr != nil {
+					log.Warn("removing finished checkpoint", "exp", name, "err", rerr)
+				}
+			} else if ferr := store.flush(); ferr == nil {
+				log.Info("checkpoint retained for resume", "exp", name,
+					"file", store.path, "trials", store.trials())
+			}
+		}
 		obs.Default().Counter("experiment.runs").Inc()
-		log.Info("experiment done", "exp", name, "elapsed", elapsed)
-		return &RunResult{Result: res, Elapsed: elapsed, Metrics: obs.Default().Snapshot()}, nil
+		log.Info("experiment done", "exp", name, "elapsed", elapsed, "missing", missing)
+		return &RunResult{Result: res, Elapsed: elapsed,
+			Metrics: obs.Default().Snapshot(), Missing: missing}, nil
 	}
 }
 

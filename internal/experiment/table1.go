@@ -102,6 +102,9 @@ func Table1(ctx context.Context, scale Scale, seed uint64) (*Table1Result, error
 
 	for _, factor := range factors {
 		if err := ctx.Err(); err != nil {
+			if partialSweep(ctx) {
+				break // render the sizes already measured
+			}
 			return nil, err
 		}
 		trainSet, err := dataset.Undersample(train28, factor, dataset.Decimate)

@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vortex/internal/hw"
+	"vortex/internal/mat"
+)
+
+// countdownCtx is a context whose Err flips to context.Canceled after
+// its Err method has been consulted n times — a deterministic way to
+// cancel "mid-scan" without racing a goroutine against the scan loop.
+type countdownCtx struct {
+	context.Context
+	remaining atomic.Int64
+}
+
+func newCountdownCtx(n int64) *countdownCtx {
+	c := &countdownCtx{Context: context.Background()}
+	c.remaining.Store(n)
+	return c
+}
+
+func (c *countdownCtx) Err() error {
+	if c.remaining.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func (c *countdownCtx) Done() <-chan struct{} {
+	ch := make(chan struct{})
+	if c.remaining.Load() <= 0 {
+		close(ch)
+	}
+	return ch
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func TestScanHonorsPreCanceledContext(t *testing.T) {
+	n := newNCS(t, 6, 3, 0, 0.3, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Scan(ctx, n, ScanOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestScanStopsMidway(t *testing.T) {
+	n := newNCS(t, 6, 3, 0, 0.3, 1)
+	// The scan consults ctx before each of its four Pretest passes (two
+	// per array); allow the first two checks, then cancel — the scan must
+	// stop before the negative array instead of finishing it.
+	ctx := newCountdownCtx(2)
+	if _, err := Scan(ctx, n, ScanOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRepairHonorsMidScanCancellation(t *testing.T) {
+	n := newNCS(t, 6, 3, 2, 0.3, 5)
+	w := mat.NewMatrix(6, 3)
+	for i := range w.Data {
+		w.Data[i] = 0.4
+	}
+	if err := n.ProgramWeights(w, hw.ProgramOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rowMapBefore := n.RowMap()
+
+	// Allow the repair loop's own check plus the first scan check, then
+	// cancel during the scan of the first round.
+	ctx := newCountdownCtx(2)
+	out, err := Repair(ctx, n, w, Policy{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v (out=%+v), want context.Canceled", err, out)
+	}
+	// A canceled repair must not have half-applied a remap: the mapping
+	// in force is the one from before the call.
+	after := n.RowMap()
+	if len(after) != len(rowMapBefore) {
+		t.Fatalf("row map length changed: %d -> %d", len(rowMapBefore), len(after))
+	}
+	for i := range after {
+		if after[i] != rowMapBefore[i] {
+			t.Fatalf("row map changed at %d despite cancellation", i)
+		}
+	}
+}
+
+func TestRepairHonorsPreCanceledContext(t *testing.T) {
+	n := newNCS(t, 6, 3, 0, 0.3, 5)
+	w := mat.NewMatrix(6, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Repair(ctx, n, w, Policy{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

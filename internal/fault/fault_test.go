@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"testing"
 
 	"vortex/internal/device"
@@ -226,7 +227,7 @@ func TestScanFindsInjectedFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Scan(n, ScanOptions{})
+	m, err := Scan(context.Background(), n, ScanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestScanClassifiesWornAsSuspect(t *testing.T) {
 	// Wear 0.8 leaves ~20% of the log window: the cell still moves, but
 	// covers well under 60% of the commanded decade.
 	n.Pos.(hw.CellAccessor).Cell(1, 2).Wear = 0.8
-	m, err := Scan(n, ScanOptions{})
+	m, err := Scan(context.Background(), n, ScanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -284,7 +285,7 @@ func TestScanIsNonDestructive(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := n.DecodedWeights()
-	if _, err := Scan(n, ScanOptions{}); err != nil {
+	if _, err := Scan(context.Background(), n, ScanOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	after := n.DecodedWeights()
@@ -301,14 +302,14 @@ func TestGlitchChainCorruptsScans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	clean, err := Scan(n, ScanOptions{})
+	clean, err := Scan(context.Background(), n, ScanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if clean.DeadCells()+clean.SuspectCells() != 0 {
 		t.Fatal("clean scan flagged healthy cells")
 	}
-	glitched, err := Scan(n, ScanOptions{Chain: in.GlitchChain(nil)})
+	glitched, err := Scan(context.Background(), n, ScanOptions{Chain: in.GlitchChain(nil)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestGlitchChainCorruptsScans(t *testing.T) {
 	}
 	// The transients live in the sense path, not the array: a clean
 	// re-scan exonerates every cell.
-	rescan, err := Scan(n, ScanOptions{})
+	rescan, err := Scan(context.Background(), n, ScanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

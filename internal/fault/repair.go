@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -84,7 +85,12 @@ type Outcome struct {
 // of spending write cycles on an array the redundancy pool cannot save.
 // The NCS is left programmed under the last attempted mapping either
 // way, so a degraded system keeps operating as well as it can.
-func Repair(n *ncs.NCS, w *mat.Matrix, pol Policy) (*Outcome, error) {
+//
+// Cancellation is honored between rounds and inside each round's scan:
+// when ctx ends, Repair stops before the next hardware pass and returns
+// ctx.Err(), leaving the NCS programmed under the last completed
+// mapping.
+func Repair(ctx context.Context, n *ncs.NCS, w *mat.Matrix, pol Policy) (*Outcome, error) {
 	if n == nil {
 		return nil, errors.New("fault: nil NCS")
 	}
@@ -112,8 +118,11 @@ func Repair(n *ncs.NCS, w *mat.Matrix, pol Policy) (*Outcome, error) {
 			"remapped", out.Remapped, "degraded", out.Degraded, "elapsed", d)
 	}()
 	for out.Rounds < pol.MaxRounds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		out.Rounds++
-		m, err := Scan(n, pol.Scan)
+		m, err := Scan(ctx, n, pol.Scan)
 		if err != nil {
 			return nil, err
 		}

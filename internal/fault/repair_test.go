@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"testing"
 
 	"vortex/internal/device"
@@ -56,7 +57,7 @@ func TestRepairRecoversFromStuckCells(t *testing.T) {
 		t.Fatalf("stuck cells barely hurt: %.4f vs healthy %.4f", faultedErr, healthyErr)
 	}
 
-	out, err := Repair(n, w, Policy{Verify: vopts})
+	out, err := Repair(context.Background(), n, w, Policy{Verify: vopts})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRepairGivesUpWhenOverwhelmed(t *testing.T) {
 	before := n.RowMap()
 	n.Pos.(hw.CellAccessor).Cell(1, 0).Defect = device.DefectStuckLRS
 	n.Invalidate()
-	out, err := Repair(n, w, Policy{
+	out, err := Repair(context.Background(), n, w, Policy{
 		Verify:          hw.VerifyOptions{TolLog: 0.01, MaxIter: 6},
 		MaxDeadFraction: 1e-9,
 	})
@@ -117,7 +118,7 @@ func TestRepairReportsPersistentFailures(t *testing.T) {
 	w := randWeights(t, 4, 2, 102)
 	n.Pos.(hw.CellAccessor).Cell(2, 1).Defect = device.DefectStuckLRS
 	n.Invalidate()
-	out, err := Repair(n, w, Policy{Verify: hw.VerifyOptions{TolLog: 0.01, MaxIter: 6}})
+	out, err := Repair(context.Background(), n, w, Policy{Verify: hw.VerifyOptions{TolLog: 0.01, MaxIter: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,13 +138,13 @@ func TestRepairReportsPersistentFailures(t *testing.T) {
 
 func TestRepairValidation(t *testing.T) {
 	n := newNCS(t, 3, 2, 0, 0, 111)
-	if _, err := Repair(nil, mat.NewMatrix(3, 2), Policy{}); err == nil {
+	if _, err := Repair(context.Background(), nil, mat.NewMatrix(3, 2), Policy{}); err == nil {
 		t.Fatal("nil NCS accepted")
 	}
-	if _, err := Repair(n, nil, Policy{}); err == nil {
+	if _, err := Repair(context.Background(), n, nil, Policy{}); err == nil {
 		t.Fatal("nil weights accepted")
 	}
-	if _, err := Repair(n, mat.NewMatrix(2, 2), Policy{}); err == nil {
+	if _, err := Repair(context.Background(), n, mat.NewMatrix(2, 2), Policy{}); err == nil {
 		t.Fatal("wrong-shape weights accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -170,7 +171,11 @@ func (o ScanOptions) withDefaults() ScanOptions {
 // The geometric mean of the two per-target variation factors is
 // returned per cell, so a scan doubles as the pre-test measurement for
 // fault-aware remapping.
-func Scan(n *ncs.NCS, opts ScanOptions) (*Map, error) {
+//
+// Cancellation is honored between the per-array pre-test passes: when
+// ctx ends mid-scan, Scan stops before the next hardware pass and
+// returns ctx.Err().
+func Scan(ctx context.Context, n *ncs.NCS, opts ScanOptions) (*Map, error) {
 	if n == nil {
 		return nil, errors.New("fault: nil NCS")
 	}
@@ -184,8 +189,14 @@ func Scan(n *ncs.NCS, opts ScanOptions) (*Map, error) {
 	expected := math.Log(opts.TargetHi / opts.TargetLo)
 	codec := n.Codec()
 	scanArray := func(x hw.Array) ([]CellHealth, []float64, *mat.Matrix, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
 		fLo, err := x.Pretest(opts.TargetLo, opts.Senses, opts.Chain)
 		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := ctx.Err(); err != nil {
 			return nil, nil, nil, err
 		}
 		fHi, err := x.Pretest(opts.TargetHi, opts.Senses, opts.Chain)

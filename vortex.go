@@ -30,6 +30,8 @@
 package vortex
 
 import (
+	"context"
+
 	"vortex/internal/core"
 	"vortex/internal/dataset"
 	"vortex/internal/experiment"
@@ -165,15 +167,17 @@ func NewFaultInjector(cfg FaultConfig, seed uint64) (*FaultInjector, error) {
 }
 
 // ScanFaults runs the cheap two-target health scan over both arrays of
-// the NCS, classifying every cell as healthy, suspect or dead.
-func ScanFaults(n *NCS, opts FaultScanOptions) (*FaultMap, error) {
-	return fault.Scan(n, opts)
+// the NCS, classifying every cell as healthy, suspect or dead. The scan
+// stops early with ctx.Err() if ctx ends between hardware passes.
+func ScanFaults(ctx context.Context, n *NCS, opts FaultScanOptions) (*FaultMap, error) {
+	return fault.Scan(ctx, n, opts)
 }
 
 // RepairNCS runs the detect -> fault-aware remap -> reprogram -> verify
-// repair pipeline on the NCS for the given trained weights.
-func RepairNCS(n *NCS, w *Matrix, pol RepairPolicy) (*RepairOutcome, error) {
-	return fault.Repair(n, w, pol)
+// repair pipeline on the NCS for the given trained weights, honoring
+// ctx cancellation between rounds and scan passes.
+func RepairNCS(ctx context.Context, n *NCS, w *Matrix, pol RepairPolicy) (*RepairOutcome, error) {
+	return fault.Repair(ctx, n, w, pol)
 }
 
 // MLP types re-export the two-layer extension.
