@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json doccheck fuzz experiments fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-json-fleet doccheck fuzz experiments fmt vet clean
 
 all: build test
 
@@ -21,6 +21,7 @@ race:
 	$(GO) test -race ./internal/hw/
 	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep|TestRegistry|TestRunners|TestTrial|TestRetry|TestPanic|TestPartial|TestCheckpoint|TestFatal|TestSaveTrial|TestNonPartial'
 	$(GO) test -race ./internal/fault/
+	$(GO) test -race ./internal/fleet/
 
 # Regenerates every paper table/figure plus the extension studies at
 # Default scale and records the outputs at the repository root.
@@ -34,6 +35,11 @@ bench:
 # and the instrumentation layer's measured overhead (BENCH_pr4.json).
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_pr4.json
+
+# Self-healing fleet record: router read throughput plus the
+# kill-and-heal scenario's availability/accuracy (BENCH_pr6.json).
+bench-json-fleet:
+	$(GO) run ./cmd/benchjson -fleet -o BENCH_pr6.json
 
 # Doc-coverage gate: every exported identifier in every package must
 # carry a godoc comment (see cmd/doccheck).

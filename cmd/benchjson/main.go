@@ -16,9 +16,17 @@
 // read_path entry against PR 3's 145µs/op, 3 allocs/op to see the
 // reusable-workspace payoff.
 //
+// With -fleet it instead benchmarks the self-healing fleet layer
+// (internal/fleet): steady-state router read cost over a three-member
+// analytic fleet, then a kill-and-heal pass — a ten-percent stuck-cell
+// burst on one member, repaired by the health controller under live
+// traffic — reporting availability, pre/post accuracy and the repair
+// count (BENCH_pr6.json).
+//
 // Usage:
 //
 //	benchjson [-o BENCH_pr4.json] [-rows 784] [-cols 10] [-reps 5] [-rwire 2.5] [-batch 64]
+//	benchjson -fleet [-o BENCH_pr6.json] [-reps 5]
 package main
 
 import (
@@ -74,8 +82,19 @@ func main() {
 		reps  = flag.Int("reps", 5, "benchmark repetitions (best-of)")
 		rwire = flag.Float64("rwire", 2.5, "wire resistance for the parasitic circuit entries")
 		batch = flag.Int("batch", 64, "batch size for the ReadBatch entries")
+		fleet = flag.Bool("fleet", false, "benchmark the self-healing fleet layer instead (write BENCH_pr6.json-style output)")
 	)
 	flag.Parse()
+	if *fleet {
+		if *out == "BENCH_pr4.json" {
+			*out = "BENCH_pr6.json"
+		}
+		if err := runFleet(*out, *reps); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*out, *rows, *cols, *reps, *rwire, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

@@ -21,6 +21,12 @@
 //	-retry-backoff D   base delay before the first retry, doubling per
 //	                   retry (capped)
 //
+// Fleet scenarios (-exp fleetdrift):
+//
+//	-fleet-traffic N   classification reads routed per epoch
+//	-fleet-aging R     per-epoch stuck-conversion rate (negative = none)
+//	-fleet-spares N    fleet members beyond the first (the spare budget)
+//
 // Observability:
 //
 //	-v / -log-level   structured logs (per-phase spans, live progress)
@@ -77,6 +83,10 @@ func run() int {
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 		metrics   = flag.String("metrics", "", "write the final metrics-registry snapshot as JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+
+		fleetTraffic = flag.Int("fleet-traffic", 0, "fleetdrift: classification reads per epoch (0 = scale default)")
+		fleetAging   = flag.Float64("fleet-aging", 0, "fleetdrift: per-epoch stuck-conversion rate (0 = scale default, negative = no background aging)")
+		fleetSpares  = flag.Int("fleet-spares", 0, "fleetdrift: fleet members beyond the first (0 = scale default)")
 
 		checkpointDir = flag.String("checkpoint-dir", "", "persist completed trials here and resume an interrupted run of the same experiment/scale/seed")
 		partial       = flag.Bool("partial", false, "on timeout, interrupt or exhausted retries, print completed trials with NA cells instead of failing")
@@ -176,6 +186,13 @@ func run() int {
 	}
 	// The resilient-execution config rides the context into every
 	// registered runner: checkpointing, degradation and retry policy.
+	// Fleet-scenario knobs ride the context the same way; drivers other
+	// than fleetdrift ignore them.
+	ctx = experiment.WithFleetParams(ctx, experiment.FleetParams{
+		Traffic: *fleetTraffic,
+		Aging:   *fleetAging,
+		Spares:  *fleetSpares,
+	})
 	ctx = experiment.WithRunConfig(ctx, experiment.RunConfig{
 		CheckpointDir: *checkpointDir,
 		Partial:       *partial,

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFleetDriftServesThroughBurst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-based integration test")
+	}
+	res, err := FleetDrift(context.Background(), Quick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != fleetEpochs(Quick) {
+		t.Fatalf("got %d epochs, want %d", len(res.Epochs), fleetEpochs(Quick))
+	}
+	// The headline trade-off: the fleet never goes dark, even through
+	// the burst epoch.
+	if res.OverallAv < 0.99 {
+		t.Fatalf("overall availability %.4f, want >= 0.99", res.OverallAv)
+	}
+	for i, av := range res.Avail {
+		if av <= 0 {
+			t.Fatalf("epoch %d answered nothing", res.Epochs[i])
+		}
+	}
+	// The burst must actually strike and the controller must work for a
+	// living: cells died, repairs ran.
+	if res.Killed == 0 {
+		t.Fatal("aging and the burst killed no cells")
+	}
+	if res.Repairs == 0 {
+		t.Fatal("controller never repaired anything")
+	}
+	// Accuracy holds near the pre-fault baseline once the controller has
+	// had the back half of the run to settle the fleet.
+	last := res.Accuracy[len(res.Accuracy)-1]
+	if last < res.Baseline-0.15 {
+		t.Fatalf("final epoch accuracy %.3f collapsed from baseline %.3f", last, res.Baseline)
+	}
+	if table := res.Table(); !strings.Contains(table, "avail%") {
+		t.Fatalf("table missing availability column:\n%s", table)
+	}
+	if csv := res.CSV(); !strings.Contains(csv, "epoch") {
+		t.Fatalf("csv missing header:\n%s", csv)
+	}
+	if ann := res.Annotation(); !strings.Contains(ann, "availability") {
+		t.Fatalf("annotation missing availability: %s", ann)
+	}
+}
+
+func TestFleetDriftDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-based integration test")
+	}
+	a, err := FleetDrift(context.Background(), Quick, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetDrift(context.Background(), Quick, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%s\nvs\n%s", a.Table(), b.Table())
+	}
+}
+
+func TestFleetParamsOverrideScaleDefaults(t *testing.T) {
+	ctx := WithFleetParams(context.Background(), FleetParams{Traffic: 9, Aging: -1, Spares: 1})
+	p := fleetParamsFrom(ctx, Quick)
+	if p.Traffic != 9 || p.Aging != 0 || p.Spares != 1 {
+		t.Fatalf("explicit params not honored: %+v", p)
+	}
+	// Bare context: everything resolves to the scale defaults.
+	d := fleetParamsFrom(context.Background(), Quick)
+	if d.Traffic != 40 || d.Aging != 0.002 || d.Spares != 2 {
+		t.Fatalf("quick defaults wrong: %+v", d)
+	}
+	if f := fleetParamsFrom(context.Background(), Full); f.Traffic != 240 {
+		t.Fatalf("full default traffic %d, want 240", f.Traffic)
+	}
+}

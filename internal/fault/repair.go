@@ -65,6 +65,12 @@ type Outcome struct {
 	FailedMapped int
 	// Remapped is true if any round changed the row mapping.
 	Remapped bool
+	// Reprogrammed is true if any round spent programming pulses. A
+	// repeat repair with no new damage skips the reprogram entirely
+	// (idempotent fast path) and reports false: the scan found the
+	// existing mapping already optimal and a readback found every live
+	// mapped cell still inside the verify tolerance band.
+	Reprogrammed bool
 	// Degraded is true if the pipeline gave up: the dead fraction
 	// exceeded Policy.MaxDeadFraction, or mapped verify failures
 	// persisted after MaxRounds.
@@ -140,10 +146,23 @@ func Repair(ctx context.Context, n *ncs.NCS, w *mat.Matrix, pol Policy) (*Outcom
 		if !sameMap(rowMap, out.RowMap) {
 			out.Remapped = true
 		}
+		if !out.Reprogrammed && sameMap(rowMap, out.RowMap) &&
+			readbackClean(n, w, m, rowMap, pol.Verify.WithDefaults().TolLog) {
+			// Idempotent fast path: the scan found no damage the current
+			// mapping doesn't already handle (the optimizer re-derived
+			// the very map in force), and a readback shows every live
+			// mapped cell still inside the verify tolerance band. A
+			// repeat repair with no new damage is a cheap no-op — any
+			// residual Damage is pinned dead cells reprogramming cannot
+			// move, so a full reprogram would only burn write cycles.
+			out.Damage = mapping.DeadCellDamage(w, deadPos, deadNeg, rowMap)
+			return out, nil
+		}
 		if err := n.SetRowMap(rowMap); err != nil {
 			return nil, err
 		}
 		out.RowMap = rowMap
+		out.Reprogrammed = true
 		vout, err := n.ProgramWeightsVerify(w, pol.Verify)
 		if err != nil {
 			return nil, err
@@ -162,6 +181,53 @@ func Repair(ctx context.Context, n *ncs.NCS, w *mat.Matrix, pol Policy) (*Outcom
 	}
 	out.Degraded = true
 	return out, nil
+}
+
+// readbackClean reports whether every live mapped cell of both arrays
+// already sits within tolLog of the closest point programming could
+// reach toward its target under rowMap — the program-and-verify
+// acceptance predicate evaluated by readback alone, with no pulses
+// spent. Each cell's target is first clamped to its reachable window
+// [f*Ron, f*Roff] (f the variation factor the scan measured): a floor
+// cell whose factor puts the off-state above the commanded off target
+// is as programmed as it can ever be, and a reprogram would not move
+// it. Dead cells are excluded for the same reason — the mapping has
+// already dodged or pin-matched them. Suspect cells are NOT excluded:
+// a weakly responding cell that has wandered off target is exactly
+// what a repair round should pull back, so it defeats the fast path.
+// Any readback failure conservatively reports false (reprogram).
+func readbackClean(n *ncs.NCS, w *mat.Matrix, m *Map, rowMap []int, tolLog float64) bool {
+	pos, neg, err := n.Codec().TargetResistances(w, rowMap, n.PhysRows())
+	if err != nil {
+		return false
+	}
+	model := n.Config().Model
+	inBand := func(g, rt, f float64) bool {
+		if g <= 0 || f <= 0 {
+			return false
+		}
+		if lo := f * model.Ron; rt < lo {
+			rt = lo
+		}
+		if hi := f * model.Roff; rt > hi {
+			rt = hi
+		}
+		return math.Abs(math.Log(1/(g*rt))) <= tolLog
+	}
+	gp := n.Pos.Conductances()
+	gn := n.Neg.Conductances()
+	for _, q := range rowMap {
+		for j := 0; j < m.Cols; j++ {
+			idx := q*m.Cols + j
+			if m.PosHealth[idx] != Dead && !inBand(gp.At(q, j), pos.At(q, j), m.FPos.At(q, j)) {
+				return false
+			}
+			if m.NegHealth[idx] != Dead && !inBand(gn.At(q, j), neg.At(q, j), m.FNeg.At(q, j)) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func sameMap(a, b []int) bool {

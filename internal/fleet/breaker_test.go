@@ -1,0 +1,90 @@
+package fleet
+
+import "testing"
+
+func TestBreakerTripCooldownProbe(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 5, TripFailures: 3, Cooldown: 4, ProbeSuccesses: 2})
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("fresh breaker not closed/allowing")
+	}
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped below TripFailures")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip at TripFailures failures in window")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+	// Cooldown = 4: three rejections, the fourth attempt is admitted as
+	// the first half-open probe.
+	for i := 0; i < 3; i++ {
+		if b.Allow() {
+			t.Fatalf("open breaker allowed attempt %d during cooldown", i)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("cooldown exhausted but attempt still rejected")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v after cooldown, want half-open", b.State())
+	}
+	b.Success()
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("closed after one probe success, want two")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("did not close after ProbeSuccesses probe successes")
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Window: 3, TripFailures: 2, Cooldown: 1, ProbeSuccesses: 1})
+	// F S S then another F: the first failure has slid out of the
+	// 3-outcome window, so the breaker must stay closed...
+	b.Failure()
+	b.Success()
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped on failures outside the window")
+	}
+	// ...but a second failure inside the window trips it.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip on two failures inside the window")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Cooldown: 1, ProbeSuccesses: 3})
+	b.Trip()
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("forced trip: state %v trips %d", b.State(), b.Trips())
+	}
+	b.Trip() // already open: must not double-count
+	if b.Trips() != 1 {
+		t.Fatalf("double-counted forced trip: %d", b.Trips())
+	}
+	b.HalfOpen()
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("HalfOpen did not enter half-open")
+	}
+	b.Success()
+	b.Failure() // probe failed: reopen, probe progress discarded
+	if b.State() != BreakerOpen {
+		t.Fatal("half-open failure did not reopen")
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+	b.Reset()
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("Reset did not close the breaker")
+	}
+}

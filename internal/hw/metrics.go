@@ -40,13 +40,38 @@ var (
 // MetricsFor returns the shared metrics bundle for a backend name
 // ("circuit", "analytic", ...), creating it on first use.
 func MetricsFor(backend string) *Metrics {
+	return metricsForPrefix("hw." + backend + ".")
+}
+
+// ArrayPrefix is the obs metric namespace of one identified array on a
+// backend: "hw.<backend>.<array-id>.". Layers that track many long-lived
+// arrays at once (the fleet) derive their per-array series names from it
+// so they cannot collide with the per-backend aggregates or with each
+// other; MetricsForArray uses the same prefix for the standard bundle.
+func ArrayPrefix(backend, arrayID string) string {
+	return "hw." + backend + "." + arrayID + "."
+}
+
+// MetricsForArray returns the metrics bundle of one identified array,
+// namespaced per ArrayPrefix ("hw.<backend>.<array-id>.<metric>") in the
+// process-default registry, creating it on first use. Unlike the
+// per-backend MetricsFor bundle — which aggregates every short-lived
+// Monte-Carlo array of a backend into one series — a per-array bundle
+// gives a long-lived array (a fleet member) its own series, so its
+// health trajectory is observable in isolation.
+func MetricsForArray(backend, arrayID string) *Metrics {
+	return metricsForPrefix(ArrayPrefix(backend, arrayID))
+}
+
+// metricsForPrefix builds (or returns the cached) bundle whose series
+// all share the given name prefix.
+func metricsForPrefix(prefix string) *Metrics {
 	metricsMu.Lock()
 	defer metricsMu.Unlock()
-	if m, ok := metricsBy[backend]; ok {
+	if m, ok := metricsBy[prefix]; ok {
 		return m
 	}
 	reg := obs.Default()
-	prefix := "hw." + backend + "."
 	m := &Metrics{
 		reads:        reg.Counter(prefix + "reads"),
 		readNS:       reg.Histogram(prefix + "read_ns"),
@@ -60,7 +85,7 @@ func MetricsFor(backend string) *Metrics {
 		verifyNS:     reg.Histogram(prefix + "verify_ns"),
 		solverSweeps: reg.Histogram(prefix + "solver.sweeps"),
 	}
-	metricsBy[backend] = m
+	metricsBy[prefix] = m
 	return m
 }
 
