@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-json-fleet doccheck fuzz experiments fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-json-fleet bench-json-soa doccheck fuzz experiments fmt vet clean
 
 all: build test
 
@@ -19,7 +19,9 @@ test-short:
 race:
 	$(GO) test -race ./internal/obs/
 	$(GO) test -race ./internal/hw/
-	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep|TestRegistry|TestRunners|TestTrial|TestRetry|TestPanic|TestPartial|TestCheckpoint|TestFatal|TestSaveTrial|TestNonPartial'
+	$(GO) test -race ./internal/mat/
+	$(GO) test -race ./internal/ncs/ -run 'TestTrialSet'
+	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep|TestRegistry|TestRunners|TestTrial|TestRetry|TestPanic|TestPartial|TestCheckpoint|TestFatal|TestSaveTrial|TestNonPartial|TestEnsemble|TestVec|TestMutating|TestBatchStage|TestSoaSweep'
 	$(GO) test -race ./internal/fault/
 	$(GO) test -race ./internal/fleet/
 
@@ -40,6 +42,12 @@ bench-json:
 # kill-and-heal scenario's availability/accuracy (BENCH_pr6.json).
 bench-json-fleet:
 	$(GO) run ./cmd/benchjson -fleet -o BENCH_pr6.json
+
+# Trial-vectorized Monte-Carlo record: the Full-scale soasweep under the
+# per-trial scalar engine vs the structure-of-arrays path (byte-parity
+# asserted) plus the fused read kernel's ns/op per ISA (BENCH_pr7.json).
+bench-json-soa:
+	$(GO) run ./cmd/benchjson -soa -o BENCH_pr7.json
 
 # Doc-coverage gate: every exported identifier in every package must
 # carry a godoc comment (see cmd/doccheck).

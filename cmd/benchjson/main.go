@@ -23,10 +23,18 @@
 // traffic — reporting availability, pre/post accuracy and the repair
 // count (BENCH_pr6.json).
 //
+// With -soa it benchmarks the trial-vectorized Monte-Carlo path: the
+// Full-scale soasweep experiment under the per-trial scalar engine
+// (-vec scalar) versus the structure-of-arrays vectorized path
+// (-vec force) — asserting the two arms' CSV is byte-identical before
+// writing anything — plus the fused batched read kernel's ns/op per ISA
+// level (BENCH_pr7.json).
+//
 // Usage:
 //
 //	benchjson [-o BENCH_pr4.json] [-rows 784] [-cols 10] [-reps 5] [-rwire 2.5] [-batch 64]
 //	benchjson -fleet [-o BENCH_pr6.json] [-reps 5]
+//	benchjson -soa [-o BENCH_pr7.json] [-seed 42] [-reps 5]
 package main
 
 import (
@@ -83,6 +91,8 @@ func main() {
 		rwire = flag.Float64("rwire", 2.5, "wire resistance for the parasitic circuit entries")
 		batch = flag.Int("batch", 64, "batch size for the ReadBatch entries")
 		fleet = flag.Bool("fleet", false, "benchmark the self-healing fleet layer instead (write BENCH_pr6.json-style output)")
+		soa   = flag.Bool("soa", false, "benchmark the trial-vectorized Monte-Carlo path instead (write BENCH_pr7.json-style output)")
+		seed  = flag.Uint64("seed", 42, "experiment seed for the -soa sweep arms")
 	)
 	flag.Parse()
 	if *fleet {
@@ -90,6 +100,16 @@ func main() {
 			*out = "BENCH_pr6.json"
 		}
 		if err := runFleet(*out, *reps); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *soa {
+		if *out == "BENCH_pr4.json" {
+			*out = "BENCH_pr7.json"
+		}
+		if err := runSoa(*out, *seed, *reps); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"vortex/internal/experiment"
+	"vortex/internal/mat"
+	"vortex/internal/obs"
+)
+
+// soaSweepEntry records one arm of the Full-scale soasweep comparison:
+// the per-trial scalar engine versus the trial-vectorized
+// structure-of-arrays path, on the identical workload (the CSV parity of
+// the two arms is asserted before anything is written).
+type soaSweepEntry struct {
+	Policy    string  `json:"policy"`
+	Trials    int     `json:"trials"`
+	SetupMs   float64 `json:"setup_ms"`
+	SweepMs   float64 `json:"sweep_ms"`
+	TotalMs   float64 `json:"total_ms"`
+	PerTrial  float64 `json:"sweep_ms_per_trial"`
+	VecTrials int64   `json:"vectorized_trials"`
+}
+
+// soaKernelEntry records the ns/op of the fused batched read kernel at
+// the paper's full-scale geometry for one ISA dispatch level.
+type soaKernelEntry struct {
+	ISA      string  `json:"isa"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	Iters    int     `json:"iterations"`
+}
+
+type soaReport struct {
+	PR         int              `json:"pr"`
+	Date       string           `json:"date"`
+	GoVersion  string           `json:"go_version"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Scale      string           `json:"scale"`
+	Seed       uint64           `json:"seed"`
+	Sweep      []soaSweepEntry  `json:"soasweep"`
+	Speedup    float64          `json:"sweep_speedup_vectorized"`
+	Parity     string           `json:"csv_parity"`
+	Kernels    []soaKernelEntry `json:"mulveclanes_784x10x8"`
+	OpCounts   map[string]int64 `json:"op_counts"`
+}
+
+// runSoaArm executes the Full-scale soasweep under one vectorize policy
+// and returns its timing entry plus the CSV rendering for the parity
+// check.
+func runSoaArm(pol experiment.VecPolicy, seed uint64) (soaSweepEntry, string, error) {
+	r, ok := experiment.Lookup("soasweep")
+	if !ok {
+		return soaSweepEntry{}, "", fmt.Errorf("soasweep runner not registered")
+	}
+	vecBefore := obs.Default().Counter("experiment.vec.trials").Value()
+	ctx := experiment.WithRunConfig(context.Background(), experiment.RunConfig{Vectorize: pol})
+	res, err := r.Run(ctx, experiment.Full, seed)
+	if err != nil {
+		return soaSweepEntry{}, "", err
+	}
+	rr, ok := res.(*experiment.RunResult)
+	if !ok {
+		return soaSweepEntry{}, "", fmt.Errorf("soasweep result is %T, want *experiment.RunResult", res)
+	}
+	soa, ok := rr.Unwrap().(*experiment.SoaResult)
+	if !ok {
+		return soaSweepEntry{}, "", fmt.Errorf("soasweep result is %T, want *experiment.SoaResult", rr.Unwrap())
+	}
+	e := soaSweepEntry{
+		Policy:    pol.String(),
+		Trials:    soa.Trials,
+		SetupMs:   ms(soa.Setup),
+		SweepMs:   ms(soa.Sweep),
+		TotalMs:   ms(rr.Elapsed),
+		VecTrials: obs.Default().Counter("experiment.vec.trials").Value() - vecBefore,
+	}
+	if soa.Trials > 0 {
+		e.PerTrial = e.SweepMs / float64(soa.Trials)
+	}
+	return e, res.CSV(), nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// benchMulVecLanes times the fused batched read kernel — Tensor3
+// MulVecLanesTo at the full-scale 784x10 geometry with a full lane
+// group — under one ISA dispatch level.
+func benchMulVecLanes(isa string, reps int) (soaKernelEntry, error) {
+	prev := mat.SetKernelISA(isa)
+	defer mat.SetKernelISA(prev)
+	if got := mat.KernelISA(); got != isa {
+		return soaKernelEntry{}, fmt.Errorf("kernel ISA %q unavailable (got %q)", isa, got)
+	}
+	const rows, cols, lanes = 784, 10, 8
+	g := mat.NewTensor3(rows, cols, lanes)
+	for i := range g.Data {
+		g.Data[i] = 1e-5 + float64(i%97)*1e-7
+	}
+	x := ones(rows)
+	dst := make([]float64, cols*lanes)
+	var best testing.BenchmarkResult
+	for r := 0; r < reps; r++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g.MulVecLanesTo(dst, x)
+			}
+		})
+		if r == 0 || nsPerOp(res) < nsPerOp(best) {
+			best = res
+		}
+	}
+	return soaKernelEntry{ISA: isa, NsPerOp: nsPerOp(best),
+		AllocsOp: best.AllocsPerOp(), Iters: best.N}, nil
+}
+
+// runSoa writes the PR-7 benchmark record: the Full-scale soasweep under
+// the per-trial scalar engine and the trial-vectorized path (byte-parity
+// asserted), the sweep-phase speedup, and the fused read kernel's ns/op
+// per ISA level.
+func runSoa(out string, seed uint64, reps int) error {
+	obs.Default().Reset()
+	rep := soaReport{
+		PR:         7,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      experiment.Full.String(),
+		Seed:       seed,
+	}
+
+	scalar, scalarCSV, err := runSoaArm(experiment.VecScalar, seed)
+	if err != nil {
+		return err
+	}
+	rep.Sweep = append(rep.Sweep, scalar)
+	vec, vecCSV, err := runSoaArm(experiment.VecForce, seed)
+	if err != nil {
+		return err
+	}
+	rep.Sweep = append(rep.Sweep, vec)
+	if scalarCSV != vecCSV {
+		return fmt.Errorf("soasweep CSV differs between the scalar and vectorized arms; refusing to write %s", out)
+	}
+	rep.Parity = "byte-identical"
+	if vec.SweepMs > 0 {
+		rep.Speedup = scalar.SweepMs / vec.SweepMs
+	}
+
+	for _, isa := range []string{"generic", "avx2", "avx512"} {
+		k, err := benchMulVecLanes(isa, reps)
+		if err != nil {
+			continue // ISA not available on this host
+		}
+		rep.Kernels = append(rep.Kernels, k)
+	}
+	rep.OpCounts = obs.Default().Snapshot().Counters
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s:\n", out)
+	fmt.Printf("  soasweep full (%d trials): scalar %.0f ms, vectorized %.0f ms -> %.1fx sweep speedup (CSV %s)\n",
+		scalar.Trials, scalar.SweepMs, vec.SweepMs, rep.Speedup, rep.Parity)
+	for _, k := range rep.Kernels {
+		fmt.Printf("  mulveclanes 784x10x8 [%s]: %.0f ns/op (%d allocs)\n", k.ISA, k.NsPerOp, k.AllocsOp)
+	}
+	return nil
+}

@@ -6,7 +6,6 @@ import (
 	"math"
 
 	"vortex/internal/dataset"
-	"vortex/internal/hw"
 	"vortex/internal/opt"
 	"vortex/internal/rng"
 	"vortex/internal/stats"
@@ -97,22 +96,21 @@ func Fig4(ctx context.Context, scale Scale, seed uint64) (*Fig4Result, error) {
 		res.TestClean = append(res.TestClean, opt.Accuracy(xTest, lTest, w))
 
 		// Hardware test rate with variation, averaged over fabrications.
-		var sum float64
-		for mc := 0; mc < p.mcRuns; mc++ {
-			n, err := buildNCS(fastBackend(scale, 0), trainSet.Features(), 0, sigma, 0, 6, seed+100*uint64(mc)+11)
-			if err != nil {
-				return nil, err
-			}
-			if err := n.ProgramWeights(w, hw.ProgramOptions{}); err != nil {
-				return nil, err
-			}
-			rate, err := n.Evaluate(testSet)
-			if err != nil {
-				return nil, err
-			}
-			sum += rate
+		// The ensemble sweep routes through the trial-vectorized fast
+		// path where eligible; per-trial values and the mean are
+		// bit-identical either way.
+		seeds := make([]uint64, p.mcRuns)
+		for mc := range seeds {
+			seeds[mc] = seed + 100*uint64(mc) + 11
 		}
-		res.TestWithVar = append(res.TestWithVar, sum/float64(p.mcRuns))
+		rates, completed, err := ensembleRates(ctx, ensembleSpec{
+			scale: scale, inputs: trainSet.Features(), sigma: sigma,
+			adcBits: 6, weights: w, set: testSet, seeds: seeds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.TestWithVar = append(res.TestWithVar, meanRate(rates, completed))
 	}
 	res.TrainRate = padNaN(res.TrainRate, len(gammas))
 	res.TestClean = padNaN(res.TestClean, len(gammas))

@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"vortex/internal/dataset"
+	"vortex/internal/hw"
+	"vortex/internal/mat"
+	"vortex/internal/ncs"
+	"vortex/internal/obs"
+	"vortex/internal/rng"
+)
+
+// VecPolicy selects how Monte-Carlo ensemble sweeps use the trial-
+// vectorized (structure-of-arrays) analytic fast path. It rides the
+// RunConfig into every registered runner; cmd/vortexsim sets it from the
+// -vec flag. All policies produce bit-identical sweep output whenever
+// they run the same backend — the vectorized path is an execution
+// strategy, never a model change — so the policy only moves wall-clock
+// and, for VecForce/VecScalar, pins the backend choice that VecAuto
+// makes per scale.
+type VecPolicy int
+
+const (
+	// VecAuto (the default) vectorizes eligible ensemble sweeps exactly
+	// where the scalar path would already run the analytic backend — Full
+	// scale with ideal wires — and changes nothing else.
+	VecAuto VecPolicy = iota
+	// VecForce routes every eligible ensemble sweep through the analytic
+	// backend and its vectorized path regardless of scale. Exact for
+	// ideal-wire sweeps (the analytic backend is bit-equivalent there);
+	// ineligible sweeps still fall back per-trial with a debug log.
+	VecForce
+	// VecScalar pins the same backend choice as VecForce but evaluates
+	// per-trial on the scalar engine — the reference arm of the
+	// vectorized-vs-scalar parity checks (CI diffs its output against
+	// VecForce byte for byte).
+	VecScalar
+	// VecOff disables the vectorized path entirely and leaves backend
+	// selection to the classic per-scale routing.
+	VecOff
+)
+
+// String implements fmt.Stringer.
+func (p VecPolicy) String() string {
+	switch p {
+	case VecAuto:
+		return "auto"
+	case VecForce:
+		return "force"
+	case VecScalar:
+		return "scalar"
+	case VecOff:
+		return "off"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseVecPolicy parses a -vec flag value; "" means VecAuto.
+func ParseVecPolicy(s string) (VecPolicy, error) {
+	switch s {
+	case "auto", "":
+		return VecAuto, nil
+	case "force":
+		return VecForce, nil
+	case "scalar":
+		return VecScalar, nil
+	case "off":
+		return VecOff, nil
+	default:
+		return 0, fmt.Errorf("unknown vectorize policy %q (want auto, force, scalar or off)", s)
+	}
+}
+
+// vecPolicyFrom reads the run's vectorize policy, VecAuto outside a
+// decorated run.
+func vecPolicyFrom(ctx context.Context) VecPolicy {
+	if st := sweepStateFrom(ctx); st != nil {
+		return st.cfg.Vectorize
+	}
+	return VecAuto
+}
+
+// ensembleSpec describes one Monte-Carlo ensemble sweep of the shape the
+// vectorized path accepts: fabricate len(seeds) systems that differ only
+// in their fabrication draws, program the same logical weights into each
+// through the identity row map, and evaluate each on the same sample
+// set. Sweeps that do more per trial — training on hardware, AMP
+// remapping, fault injection, drift — do not fit this shape and stay on
+// the per-trial engine.
+type ensembleSpec struct {
+	scale      Scale
+	inputs     int
+	redundancy int
+	sigma      float64
+	rwire      float64
+	adcBits    int
+	weights    *mat.Matrix
+	set        *dataset.Set
+	seeds      []uint64
+
+	// mutatesHardware marks a sweep whose per-trial body mutates array
+	// state beyond programming the shared weights (fault injection,
+	// defect conversion, drift). Such sweeps are never routed to the
+	// vectorized path — the trial batch shares its programming state
+	// across trials, so a silent routing would evaluate un-mutated
+	// hardware. The eligibility check refuses them under every policy,
+	// including VecForce, with a debug log.
+	mutatesHardware bool
+}
+
+// ensembleBackend picks the array backend for an ensemble sweep under a
+// policy: VecForce and VecScalar pin the analytic backend for ideal-wire
+// sweeps (so the two arms of a parity diff run identical physics), every
+// other policy keeps the classic per-scale routing.
+func ensembleBackend(spec ensembleSpec, pol VecPolicy) hw.Backend {
+	if (pol == VecForce || pol == VecScalar) && spec.rwire == 0 {
+		return hw.Analytic
+	}
+	return fastBackend(spec.scale, spec.rwire)
+}
+
+// vecEligible reports whether an ensemble sweep may run the vectorized
+// path under the policy, with the reason when it may not.
+func vecEligible(spec ensembleSpec, pol VecPolicy, backend hw.Backend) (bool, string) {
+	switch {
+	case pol == VecOff || pol == VecScalar:
+		return false, "policy " + pol.String()
+	case spec.mutatesHardware:
+		return false, "per-trial hardware mutation"
+	case spec.rwire != 0:
+		return false, "wire parasitics"
+	case backend != hw.Analytic:
+		return false, "non-analytic backend"
+	default:
+		return true, ""
+	}
+}
+
+// ensembleNCSConfig builds the ncs configuration of one ensemble trial —
+// buildNCS's exact configuration, shared by the scalar and vectorized
+// arms.
+func ensembleNCSConfig(spec ensembleSpec, backend hw.Backend) ncs.Config {
+	cfg := ncs.DefaultConfig(spec.inputs, dataset.NumClasses)
+	cfg.Backend = backend
+	cfg.Sigma = spec.sigma
+	cfg.RWire = spec.rwire
+	cfg.Redundancy = spec.redundancy
+	cfg.ADCBits = spec.adcBits
+	return cfg
+}
+
+// ensembleRates evaluates an ensemble sweep — one test rate per seed —
+// through parallelTrialsBatch: eligible sweeps run the trial-vectorized
+// structure-of-arrays fast path in chunks, everything else (and any
+// batch failure) runs the resilient per-trial engine. Output is
+// byte-identical between the paths; checkpointing, retries, panic
+// isolation and partial degradation behave as in every other sweep.
+func ensembleRates(ctx context.Context, spec ensembleSpec) ([]float64, []bool, error) {
+	pol := vecPolicyFrom(ctx)
+	backend := ensembleBackend(spec, pol)
+	scalar := func(t Trial) (float64, error) {
+		n, err := ncs.New(ensembleNCSConfig(spec, backend), rng.New(spec.seeds[t.Index]))
+		if err != nil {
+			return 0, err
+		}
+		if err := n.ProgramWeights(spec.weights, hw.ProgramOptions{}); err != nil {
+			return 0, err
+		}
+		return n.Evaluate(spec.set)
+	}
+	var batch func(idxs []int) ([]float64, error)
+	if ok, reason := vecEligible(spec, pol, backend); ok {
+		cfg := ensembleNCSConfig(spec, backend)
+		batch = func(idxs []int) ([]float64, error) {
+			seeds := make([]uint64, len(idxs))
+			for k, i := range idxs {
+				seeds[k] = spec.seeds[i]
+			}
+			ts, err := ncs.NewTrialSet(cfg, seeds)
+			if err != nil {
+				return nil, err
+			}
+			if err := ts.ProgramWeights(spec.weights, hw.ProgramOptions{}); err != nil {
+				return nil, err
+			}
+			return ts.EvaluateAll(spec.set)
+		}
+	} else if pol == VecAuto || pol == VecForce {
+		obs.L().Debug("ensemble sweep not vectorized", "reason", reason,
+			"policy", pol.String(), "trials", len(spec.seeds))
+	}
+	return parallelTrialsBatch(ctx, len(spec.seeds), batch, scalar)
+}
+
+// meanRate folds an ensemble's completed rates into their mean, NaN when
+// none completed (rendered NA).
+func meanRate(rates []float64, done []bool) float64 {
+	sum, k := 0.0, 0
+	for i, r := range rates {
+		if done[i] {
+			sum += r
+			k++
+		}
+	}
+	if k == 0 {
+		return math.NaN()
+	}
+	return sum / float64(k)
+}

@@ -1,0 +1,80 @@
+package mat
+
+// Batched-kernel dispatch. The lane-fused matrix-vector kernel behind
+// Tensor3.MulVecLanesTo has one generic Go implementation plus, on
+// amd64, hand-written AVX2 and AVX-512 versions that vectorize across
+// trial lanes only — every lane stays an independent scalar IEEE-754
+// chain (separate mul and add, no FMA), so all implementations produce
+// bit-identical results and the fastest supported one is selected at
+// startup. Tests force specific implementations through SetKernelISA to
+// assert that equivalence.
+
+// mulVecLanesFunc is the signature of one fused-kernel implementation:
+// dst[k] += x[i]*data[i*l+k] for every row i, where l is the lane-block
+// length (Cols*Lanes) and dst has length l.
+type mulVecLanesFunc func(dst, data, x []float64, l int)
+
+// mulVecLanesActive is the implementation MulVecLanesTo dispatches to;
+// chosen at init, overridden by SetKernelISA.
+var mulVecLanesActive mulVecLanesFunc = mulVecLanesGeneric
+
+// kernelISAName names the active implementation ("generic", "avx2" or
+// "avx512").
+var kernelISAName = "generic"
+
+// mulVecLanes80Active, when non-nil, is a register-resident
+// specialization for l == 80 — the 10-column, 8-lane classifier-read
+// shape — that keeps the whole accumulator block in vector registers
+// across all rows. Bit-identical to the general kernels.
+var mulVecLanes80Active func(dst, data, x []float64)
+
+// mulVecLanes runs the active fused-kernel implementation, falling back
+// to the generic one when the lane-block length does not meet the SIMD
+// alignment contract (a multiple of TrialLanes doubles).
+func mulVecLanes(dst, data, x []float64, l int) {
+	if l == 80 && mulVecLanes80Active != nil {
+		mulVecLanes80Active(dst, data, x)
+		return
+	}
+	if l%TrialLanes != 0 {
+		mulVecLanesGeneric(dst, data, x, l)
+		return
+	}
+	mulVecLanesActive(dst, data, x, l)
+}
+
+// mulVecLanesGeneric is the portable reference implementation; the SIMD
+// versions must match it bit for bit.
+//
+// Zero drive entries are NOT skipped: a skip branch on x[i] mispredicts
+// on real crossbar drives (each sample carries a different zero pattern,
+// far beyond predictor reach) and costs more than the loads it saves
+// from an L2-resident tensor — measured ~30% of the fused read path.
+// Processing them is exact: the tensor holds finite conductances and a
+// `dst[k] += 0*w` contribution is an IEEE-754 identity (the accumulator
+// is never -0, since products cancel to +0), so all implementations
+// remain bit-identical to a per-lane MulVecTo loop.
+func mulVecLanesGeneric(dst, data, x []float64, l int) {
+	for i, xi := range x {
+		row := data[i*l : i*l+l]
+		for k, w := range row {
+			dst[k] += xi * w
+		}
+	}
+}
+
+// KernelISA reports which fused-kernel implementation is active:
+// "generic", "avx2" or "avx512".
+func KernelISA() string { return kernelISAName }
+
+// SetKernelISA selects a fused-kernel implementation by name —
+// "generic", "avx2", "avx512", or "auto" for the best one the CPU
+// supports — and reports the name actually installed. Requesting an ISA
+// the CPU lacks (or any name on a non-amd64 build) quietly installs the
+// best supported one instead, so callers can probe without crashing.
+// All implementations are bit-identical; this knob exists for the
+// equivalence tests and benchmarks, not for correctness.
+func SetKernelISA(name string) string {
+	installKernelISA(name)
+	return kernelISAName
+}

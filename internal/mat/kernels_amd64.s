@@ -1,0 +1,165 @@
+// Fused trial-lane kernels (see kernels.go). Both entry points compute
+//
+//	dst[k] += x[i] * data[i*l + k]   for every row i
+//
+// vectorizing across k only — each k is one (column, trial-lane) output
+// and stays an independent scalar IEEE-754 chain, multiplied then added
+// with separate instructions (no FMA), so the results are bit-identical
+// to the generic Go loop. Rows with x[i] == 0 are processed like any
+// other (see mulVecLanesGeneric for why that is both exact and faster
+// than a skip on real drive vectors). The dispatcher guarantees
+// l % 8 == 0, which keeps both loops tail-free.
+
+#include "textflag.h"
+
+// func mulVecLanesAVX2(dst, data, x []float64, l int)
+TEXT ·mulVecLanesAVX2(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ data_base+24(FP), SI
+	MOVQ x_base+48(FP), DX
+	MOVQ x_len+56(FP), CX
+	MOVQ l+72(FP), R8
+	XORQ R9, R9            // i
+avx2_rows:
+	CMPQ R9, CX
+	JGE  avx2_done
+	VMOVSD (DX)(R9*8), X0   // x[i]
+	VBROADCASTSD X0, Y0
+	MOVQ R9, AX
+	IMULQ R8, AX
+	LEAQ (SI)(AX*8), BX    // &data[i*l]
+	XORQ R10, R10          // k
+avx2_cols:
+	VMOVUPD (BX)(R10*8), Y1
+	VMULPD  Y0, Y1, Y1
+	VADDPD  (DI)(R10*8), Y1, Y1
+	VMOVUPD Y1, (DI)(R10*8)
+	VMOVUPD 32(BX)(R10*8), Y2
+	VMULPD  Y0, Y2, Y2
+	VADDPD  32(DI)(R10*8), Y2, Y2
+	VMOVUPD Y2, 32(DI)(R10*8)
+	ADDQ $8, R10
+	CMPQ R10, R8
+	JL   avx2_cols
+	INCQ R9
+	JMP  avx2_rows
+avx2_done:
+	VZEROUPPER
+	RET
+
+// func mulVecLanesAVX512(dst, data, x []float64, l int)
+TEXT ·mulVecLanesAVX512(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ data_base+24(FP), SI
+	MOVQ x_base+48(FP), DX
+	MOVQ x_len+56(FP), CX
+	MOVQ l+72(FP), R8
+	XORQ R9, R9            // i
+avx512_rows:
+	CMPQ R9, CX
+	JGE  avx512_done
+	VMOVSD (DX)(R9*8), X0   // x[i]
+	VBROADCASTSD X0, Z0
+	MOVQ R9, AX
+	IMULQ R8, AX
+	LEAQ (SI)(AX*8), BX    // &data[i*l]
+	XORQ R10, R10          // k
+avx512_cols:
+	VMOVUPD (BX)(R10*8), Z1
+	VMULPD  Z0, Z1, Z1
+	VADDPD  (DI)(R10*8), Z1, Z1
+	VMOVUPD Z1, (DI)(R10*8)
+	ADDQ $8, R10
+	CMPQ R10, R8
+	JL   avx512_cols
+	INCQ R9
+	JMP  avx512_rows
+avx512_done:
+	VZEROUPPER
+	RET
+
+// func mulVecLanes80AVX512(dst, data, x []float64)
+//
+// Specialization of mulVecLanesAVX512 for l == 80 (10 columns x 8 trial
+// lanes, the system's classifier-read shape): the whole 80-double
+// accumulator block lives in ten ZMM registers for the entire call, so
+// the per-row inner loop issues only loads — no dst traffic until the
+// single spill at the end. Bit-identical to the generic loop for the
+// same reasons as above.
+TEXT ·mulVecLanes80AVX512(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ data_base+24(FP), SI
+	MOVQ x_base+48(FP), DX
+	MOVQ x_len+56(FP), CX
+	VMOVUPD (DI), Z5
+	VMOVUPD 64(DI), Z6
+	VMOVUPD 128(DI), Z7
+	VMOVUPD 192(DI), Z8
+	VMOVUPD 256(DI), Z9
+	VMOVUPD 320(DI), Z10
+	VMOVUPD 384(DI), Z11
+	VMOVUPD 448(DI), Z12
+	VMOVUPD 512(DI), Z13
+	VMOVUPD 576(DI), Z14
+	XORQ R9, R9            // i
+r80_rows:
+	CMPQ R9, CX
+	JGE  r80_done
+	VMOVSD (DX)(R9*8), X0  // x[i]
+	VBROADCASTSD X0, Z0
+	IMUL3Q $640, R9, AX
+	LEAQ (SI)(AX*1), BX    // &data[i*80]
+	VMULPD (BX), Z0, Z16
+	VADDPD Z16, Z5, Z5
+	VMULPD 64(BX), Z0, Z17
+	VADDPD Z17, Z6, Z6
+	VMULPD 128(BX), Z0, Z18
+	VADDPD Z18, Z7, Z7
+	VMULPD 192(BX), Z0, Z19
+	VADDPD Z19, Z8, Z8
+	VMULPD 256(BX), Z0, Z20
+	VADDPD Z20, Z9, Z9
+	VMULPD 320(BX), Z0, Z21
+	VADDPD Z21, Z10, Z10
+	VMULPD 384(BX), Z0, Z22
+	VADDPD Z22, Z11, Z11
+	VMULPD 448(BX), Z0, Z23
+	VADDPD Z23, Z12, Z12
+	VMULPD 512(BX), Z0, Z24
+	VADDPD Z24, Z13, Z13
+	VMULPD 576(BX), Z0, Z25
+	VADDPD Z25, Z14, Z14
+	INCQ R9
+	JMP  r80_rows
+r80_done:
+	VMOVUPD Z5, (DI)
+	VMOVUPD Z6, 64(DI)
+	VMOVUPD Z7, 128(DI)
+	VMOVUPD Z8, 192(DI)
+	VMOVUPD Z9, 256(DI)
+	VMOVUPD Z10, 320(DI)
+	VMOVUPD Z11, 384(DI)
+	VMOVUPD Z12, 448(DI)
+	VMOVUPD Z13, 512(DI)
+	VMOVUPD Z14, 576(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

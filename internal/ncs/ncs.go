@@ -146,27 +146,9 @@ func New(cfg Config, src *rng.Source) (*NCS, error) {
 	if err != nil {
 		return nil, err
 	}
-	var chain *adc.SenseChain
-	if cfg.ADCBits > 0 {
-		max := cfg.ADCMax
-		if max == 0 {
-			// The output is sensed differentially (I+ - I-), so the ADC
-			// range covers the differential span, not the single-array
-			// common mode. Auto full scale: +/- 8 weight-score units
-			// (score = Idiff * WMax / (Vread*(GOn-GOff))) — trained
-			// margins target +/-1, so this leaves generous headroom for
-			// variation-inflated scores while keeping the 6-bit LSB
-			// (0.25 score units) below the class-score gaps. That is what
-			// reproduces the paper's Fig. 8 saturation at 6 bits.
-			max = 8 * cfg.Vread * (codec.GOn - codec.GOff) / codec.WMax
-		}
-		conv, err := adc.NewConverter(cfg.ADCBits, -max, max)
-		if err != nil {
-			return nil, err
-		}
-		chain = adc.NewSenseChain(conv, 1, nil)
-	} else {
-		chain = adc.Ideal()
+	chain, err := senseChainFor(cfg, codec)
+	if err != nil {
+		return nil, err
 	}
 	return &NCS{
 		cfg:    cfg,
@@ -176,6 +158,32 @@ func New(cfg Config, src *rng.Source) (*NCS, error) {
 		chain:  chain,
 		rowMap: IdentityMap(cfg.Inputs),
 	}, nil
+}
+
+// senseChainFor builds the output sensing chain of a configuration —
+// shared by the per-trial NCS and the trial-batched TrialSet so the two
+// paths quantize identically.
+func senseChainFor(cfg Config, codec Codec) (*adc.SenseChain, error) {
+	if cfg.ADCBits == 0 {
+		return adc.Ideal(), nil
+	}
+	max := cfg.ADCMax
+	if max == 0 {
+		// The output is sensed differentially (I+ - I-), so the ADC
+		// range covers the differential span, not the single-array
+		// common mode. Auto full scale: +/- 8 weight-score units
+		// (score = Idiff * WMax / (Vread*(GOn-GOff))) — trained
+		// margins target +/-1, so this leaves generous headroom for
+		// variation-inflated scores while keeping the 6-bit LSB
+		// (0.25 score units) below the class-score gaps. That is what
+		// reproduces the paper's Fig. 8 saturation at 6 bits.
+		max = 8 * cfg.Vread * (codec.GOn - codec.GOff) / codec.WMax
+	}
+	conv, err := adc.NewConverter(cfg.ADCBits, -max, max)
+	if err != nil {
+		return nil, err
+	}
+	return adc.NewSenseChain(conv, 1, nil), nil
 }
 
 // Config returns the NCS configuration (with defaults resolved).
