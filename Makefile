@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-json-fleet bench-json-soa doccheck fuzz experiments fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-json-fleet bench-json-soa bench-json-obs doccheck fuzz experiments fmt vet clean
 
 all: build test
 
@@ -21,7 +21,8 @@ race:
 	$(GO) test -race ./internal/hw/
 	$(GO) test -race ./internal/mat/
 	$(GO) test -race ./internal/ncs/ -run 'TestTrialSet'
-	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep|TestRegistry|TestRunners|TestTrial|TestRetry|TestPanic|TestPartial|TestCheckpoint|TestFatal|TestSaveTrial|TestNonPartial|TestEnsemble|TestVec|TestMutating|TestBatchStage|TestSoaSweep'
+	$(GO) test -race ./internal/experiment/ -run 'TestFig2|TestParallel|TestFaultSweep|TestRegistry|TestRunners|TestTrial|TestRetry|TestPanic|TestPartial|TestCheckpoint|TestFatal|TestSaveTrial|TestNonPartial|TestEnsemble|TestVec|TestMutating|TestBatchStage|TestSoaSweep|TestScalarTrial|TestCrashDemo'
+	$(GO) test -race ./cmd/vortexsim/
 	$(GO) test -race ./internal/fault/
 	$(GO) test -race ./internal/fleet/
 
@@ -48,6 +49,13 @@ bench-json-fleet:
 # asserted) plus the fused read kernel's ns/op per ISA (BENCH_pr7.json).
 bench-json-soa:
 	$(GO) run ./cmd/benchjson -soa -o BENCH_pr7.json
+
+# Tracing-pipeline overhead record: the analytic read hot path under
+# metrics-off / metrics-on / metrics-plus-tracing, and the Full-scale
+# soasweep on both engine paths with tracing off vs on, checked against
+# the five-percent overhead budget (BENCH_pr8.json).
+bench-json-obs:
+	$(GO) run ./cmd/benchjson -obs -o BENCH_pr8.json
 
 # Doc-coverage gate: every exported identifier in every package must
 # carry a godoc comment (see cmd/doccheck).

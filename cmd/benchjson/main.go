@@ -30,11 +30,18 @@
 // writing anything — plus the fused batched read kernel's ns/op per ISA
 // level (BENCH_pr7.json).
 //
+// With -obs it benchmarks the tracing pipeline itself: the analytic
+// read hot path under metrics-off, metrics-on and metrics-plus-tracing,
+// then the Full-scale soasweep on both engine paths with tracing off
+// versus on, checking the enabled-tracing sweep overhead against the
+// five-percent budget (BENCH_pr8.json).
+//
 // Usage:
 //
 //	benchjson [-o BENCH_pr4.json] [-rows 784] [-cols 10] [-reps 5] [-rwire 2.5] [-batch 64]
 //	benchjson -fleet [-o BENCH_pr6.json] [-reps 5]
 //	benchjson -soa [-o BENCH_pr7.json] [-seed 42] [-reps 5]
+//	benchjson -obs [-o BENCH_pr8.json] [-seed 42] [-reps 5]
 package main
 
 import (
@@ -92,7 +99,8 @@ func main() {
 		batch = flag.Int("batch", 64, "batch size for the ReadBatch entries")
 		fleet = flag.Bool("fleet", false, "benchmark the self-healing fleet layer instead (write BENCH_pr6.json-style output)")
 		soa   = flag.Bool("soa", false, "benchmark the trial-vectorized Monte-Carlo path instead (write BENCH_pr7.json-style output)")
-		seed  = flag.Uint64("seed", 42, "experiment seed for the -soa sweep arms")
+		obsM  = flag.Bool("obs", false, "benchmark the tracing/observability pipeline overhead instead (write BENCH_pr8.json-style output)")
+		seed  = flag.Uint64("seed", 42, "experiment seed for the -soa/-obs sweep arms")
 	)
 	flag.Parse()
 	if *fleet {
@@ -110,6 +118,16 @@ func main() {
 			*out = "BENCH_pr7.json"
 		}
 		if err := runSoa(*out, *seed, *reps); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsM {
+		if *out == "BENCH_pr4.json" {
+			*out = "BENCH_pr8.json"
+		}
+		if err := runObs(*out, *seed, *reps); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,251 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"vortex/internal/experiment"
+	"vortex/internal/hw"
+	"vortex/internal/obs"
+)
+
+// obsReadEntry records the analytic steady-state read cost under one
+// instrumentation state: metrics disabled, metrics enabled, and metrics
+// enabled with a trace buffer and flight recorder installed.
+type obsReadEntry struct {
+	State    string  `json:"state"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	Iters    int     `json:"iterations"`
+}
+
+// obsSweepEntry records one Full-scale soasweep arm — a vectorize
+// policy crossed with tracing on or off. With tracing on, the span and
+// event retention of the run rides along so the record shows what the
+// overhead bought.
+type obsSweepEntry struct {
+	Policy       string  `json:"policy"`
+	Tracing      string  `json:"tracing"`
+	Trials       int     `json:"trials"`
+	SweepMs      float64 `json:"sweep_ms"`
+	TotalMs      float64 `json:"total_ms"`
+	TraceSpans   int     `json:"trace_spans,omitempty"`
+	TraceDropped int64   `json:"trace_spans_dropped,omitempty"`
+	FlightEvents int     `json:"flight_events,omitempty"`
+}
+
+type obsReport struct {
+	PR               int                `json:"pr"`
+	Date             string             `json:"date"`
+	GoVersion        string             `json:"go_version"`
+	GOMAXPROCS       int                `json:"gomaxprocs"`
+	Scale            string             `json:"scale"`
+	Seed             uint64             `json:"seed"`
+	ReadPath         []obsReadEntry     `json:"analytic_read_784x10"`
+	ReadOverheadPct  map[string]float64 `json:"read_overhead_pct_vs_off"`
+	Sweep            []obsSweepEntry    `json:"soasweep"`
+	SweepOverheadPct map[string]float64 `json:"sweep_tracing_overhead_pct"`
+	BudgetPct        float64            `json:"tracing_overhead_budget_pct"`
+	WithinBudget     bool               `json:"within_budget"`
+}
+
+// tracingBudgetPct is the acceptance ceiling for the enabled-tracing
+// sweep overhead: turning on -trace must cost less than this fraction
+// of sweep wall time on both engine paths.
+const tracingBudgetPct = 5.0
+
+// installTracing wires a fresh trace buffer and flight recorder (the
+// exact objects vortexsim -trace installs) and returns a teardown that
+// restores the previous ones.
+func installTracing(spanCap, eventCap int) (*obs.TraceBuffer, *obs.Flight, func()) {
+	tb := obs.NewTraceBuffer(spanCap)
+	f := obs.NewFlight(eventCap)
+	prevT := obs.SetTracer(tb)
+	prevF := obs.SetFlight(f)
+	return tb, f, func() {
+		obs.SetTracer(prevT)
+		obs.SetFlight(prevF)
+	}
+}
+
+// benchObsRead times the analytic ReadInto hot path under the three
+// instrumentation states and returns the entries plus the per-state
+// overhead versus the disabled baseline.
+func benchObsRead(rows, cols, reps int) ([]obsReadEntry, map[string]float64, error) {
+	var entries []obsReadEntry
+
+	obs.SetEnabled(false)
+	off, err := benchReadInto(hw.Analytic, rows, cols, 0, reps)
+	obs.SetEnabled(true)
+	if err != nil {
+		return nil, nil, err
+	}
+	entries = append(entries, obsReadEntry{State: "off",
+		NsPerOp: nsPerOp(off), AllocsOp: off.AllocsPerOp(), Iters: off.N})
+
+	on, err := benchReadInto(hw.Analytic, rows, cols, 0, reps)
+	if err != nil {
+		return nil, nil, err
+	}
+	entries = append(entries, obsReadEntry{State: "metrics",
+		NsPerOp: nsPerOp(on), AllocsOp: on.AllocsPerOp(), Iters: on.N})
+
+	_, _, restore := installTracing(1<<14, 256)
+	traced, err := benchReadInto(hw.Analytic, rows, cols, 0, reps)
+	restore()
+	if err != nil {
+		return nil, nil, err
+	}
+	entries = append(entries, obsReadEntry{State: "metrics+tracing",
+		NsPerOp: nsPerOp(traced), AllocsOp: traced.AllocsPerOp(), Iters: traced.N})
+
+	overhead := map[string]float64{}
+	if base := nsPerOp(off); base > 0 {
+		overhead["metrics"] = 100 * (nsPerOp(on) - base) / base
+		overhead["metrics+tracing"] = 100 * (nsPerOp(traced) - base) / base
+	}
+	return entries, overhead, nil
+}
+
+// runObsSweepArm executes the Full-scale soasweep once under a
+// vectorize policy, optionally with the tracing pipeline installed, and
+// reports the sweep-phase duration (the part the spans instrument).
+func runObsSweepArm(pol experiment.VecPolicy, seed uint64, traced bool) (obsSweepEntry, error) {
+	r, ok := experiment.Lookup("soasweep")
+	if !ok {
+		return obsSweepEntry{}, fmt.Errorf("soasweep runner not registered")
+	}
+	e := obsSweepEntry{Policy: pol.String(), Tracing: "off"}
+	var tb *obs.TraceBuffer
+	var f *obs.Flight
+	if traced {
+		var restore func()
+		tb, f, restore = installTracing(1<<16, 256)
+		defer restore()
+		e.Tracing = "on"
+	}
+	ctx := experiment.WithRunConfig(context.Background(), experiment.RunConfig{Vectorize: pol})
+	res, err := r.Run(ctx, experiment.Full, seed)
+	if err != nil {
+		return obsSweepEntry{}, err
+	}
+	rr, ok := res.(*experiment.RunResult)
+	if !ok {
+		return obsSweepEntry{}, fmt.Errorf("soasweep result is %T, want *experiment.RunResult", res)
+	}
+	soa, ok := rr.Unwrap().(*experiment.SoaResult)
+	if !ok {
+		return obsSweepEntry{}, fmt.Errorf("soasweep result is %T, want *experiment.SoaResult", rr.Unwrap())
+	}
+	e.Trials = soa.Trials
+	e.SweepMs = ms(soa.Sweep)
+	e.TotalMs = ms(rr.Elapsed)
+	if traced {
+		e.TraceSpans = tb.Len()
+		e.TraceDropped = tb.Dropped()
+		e.FlightEvents = len(f.Events())
+	}
+	return e, nil
+}
+
+// bestObsSweepArm repeats one sweep arm and keeps the fastest sweep
+// phase — the same best-of discipline the kernel benchmarks use, since
+// a single-core box schedules whole sweeps noisily.
+func bestObsSweepArm(pol experiment.VecPolicy, seed uint64, traced bool, reps int) (obsSweepEntry, error) {
+	var best obsSweepEntry
+	for r := 0; r < reps; r++ {
+		e, err := runObsSweepArm(pol, seed, traced)
+		if err != nil {
+			return obsSweepEntry{}, err
+		}
+		if r == 0 || e.SweepMs < best.SweepMs {
+			best = e
+		}
+	}
+	return best, nil
+}
+
+// runObs writes the PR-8 benchmark record: the tracing pipeline's cost.
+// It times the analytic read hot path under metrics-off, metrics-on and
+// metrics-plus-tracing, then the Full-scale soasweep under both engine
+// paths (per-trial scalar and SoA-vectorized) with tracing off versus
+// on, and checks the enabled-tracing sweep overhead against the
+// five-percent acceptance budget. The budget check prints PASS or FAIL
+// but never fails the command: single runs on a noisy shared box swing
+// more than the margin, and the JSON record is the reviewable artifact.
+func runObs(out string, seed uint64, reps int) error {
+	obs.Default().Reset()
+	rep := obsReport{
+		PR:         8,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      experiment.Full.String(),
+		Seed:       seed,
+		BudgetPct:  tracingBudgetPct,
+	}
+
+	reads, readOverhead, err := benchObsRead(784, 10, reps)
+	if err != nil {
+		return err
+	}
+	rep.ReadPath = reads
+	rep.ReadOverheadPct = readOverhead
+
+	// Whole-sweep arms are seconds each; best-of-3 bounds the wall time
+	// while still shaving scheduler noise.
+	sreps := reps
+	if sreps > 3 {
+		sreps = 3
+	}
+	rep.SweepOverheadPct = map[string]float64{}
+	rep.WithinBudget = true
+	for _, pol := range []experiment.VecPolicy{experiment.VecScalar, experiment.VecForce} {
+		plain, err := bestObsSweepArm(pol, seed, false, sreps)
+		if err != nil {
+			return err
+		}
+		traced, err := bestObsSweepArm(pol, seed, true, sreps)
+		if err != nil {
+			return err
+		}
+		rep.Sweep = append(rep.Sweep, plain, traced)
+		if plain.SweepMs > 0 {
+			pct := 100 * (traced.SweepMs - plain.SweepMs) / plain.SweepMs
+			rep.SweepOverheadPct[pol.String()] = pct
+			if pct >= tracingBudgetPct {
+				rep.WithinBudget = false
+			}
+		}
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s:\n", out)
+	for _, e := range rep.ReadPath {
+		fmt.Printf("  analytic read [%s]: %.0f ns/op (%d allocs)\n", e.State, e.NsPerOp, e.AllocsOp)
+	}
+	for _, e := range rep.Sweep {
+		extra := ""
+		if e.Tracing == "on" {
+			extra = fmt.Sprintf(" (%d spans, %d events)", e.TraceSpans, e.FlightEvents)
+		}
+		fmt.Printf("  soasweep full [%s, tracing %s]: sweep %.0f ms%s\n", e.Policy, e.Tracing, e.SweepMs, extra)
+	}
+	verdict := "PASS"
+	if !rep.WithinBudget {
+		verdict = "FAIL"
+	}
+	fmt.Printf("  tracing sweep overhead: scalar %+.2f%%, vectorized %+.2f%% (budget <%.0f%%): %s\n",
+		rep.SweepOverheadPct["scalar"], rep.SweepOverheadPct["force"], tracingBudgetPct, verdict)
+	return nil
+}

@@ -1,0 +1,42 @@
+// Command promcheck validates files in the Prometheus text exposition
+// format (0.0.4) with the same minimal validator vortexd's scraper will
+// use — CI runs it over vortexsim's -metrics-prom output to keep the
+// exposition parseable.
+//
+// Usage:
+//
+//	promcheck FILE...
+//
+// Exit codes: 0 every file validates, 1 a file failed (the first
+// offending line is printed), 2 usage error.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vortex/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: promcheck FILE...")
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range os.Args[1:] {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			code = 1
+			continue
+		}
+		if err := obs.ValidatePrometheus(raw); err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s: OK\n", path)
+	}
+	os.Exit(code)
+}

@@ -42,12 +42,21 @@
 //	-v / -log-level   structured logs (per-phase spans, live progress)
 //	-log-format json  machine-readable log stream
 //	-metrics FILE     write the final metrics snapshot as JSON
-//	-pprof ADDR       serve net/http/pprof and expvar for live profiling
+//	-metrics-prom F   write the final metrics in Prometheus text format
+//	-trace FILE       retain completed spans and write them as Chrome
+//	                  trace_event JSON (chrome://tracing, Perfetto)
+//	-crash-dir D      where crash dumps land (default .); a panic,
+//	                  SIGQUIT, timeout or driver failure writes
+//	                  crash-<exp>-<ts>.json with the run manifest, the
+//	                  metrics snapshot and the flight-recorder tail
+//	-pprof ADDR       serve net/http/pprof, expvar and
+//	                  /metrics/prometheus for live profiling/scraping
 //
 // Exit codes: 0 success, 1 driver failure, 2 usage error, 124 the
-// -timeout deadline expired, 130 interrupted by Ctrl-C. On 124/130 with
-// -checkpoint-dir set, the final checkpoint is flushed and the resume
-// command is printed before exiting.
+// -timeout deadline expired, 130 interrupted by Ctrl-C, 131 SIGQUIT
+// (after writing a crash dump). On 124/130 with -checkpoint-dir set,
+// the final checkpoint is flushed and the resume command is printed
+// before exiting.
 package main
 
 import (
@@ -57,14 +66,18 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
-	_ "net/http/pprof"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"vortex/internal/experiment"
+	"vortex/internal/mat"
 	"vortex/internal/obs"
 )
 
@@ -74,6 +87,7 @@ const (
 	exitUsage     = 2
 	exitTimeout   = 124 // convention of timeout(1)
 	exitInterrupt = 130 // 128 + SIGINT
+	exitQuit      = 131 // 128 + SIGQUIT, after the crash dump
 )
 
 func main() {
@@ -92,7 +106,10 @@ func run() int {
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logFormat = flag.String("log-format", "text", "log format: text or json")
 		metrics   = flag.String("metrics", "", "write the final metrics-registry snapshot as JSON to this file")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+		promPath  = flag.String("metrics-prom", "", "write the final metrics registry in Prometheus text exposition format to this file")
+		tracePath = flag.String("trace", "", "retain completed spans and write them as Chrome trace_event JSON to this file")
+		crashDir  = flag.String("crash-dir", ".", "directory crash dumps are written to on panic, SIGQUIT, timeout or driver failure")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof, expvar and /metrics/prometheus on this address (e.g. localhost:6060)")
 
 		fleetTraffic = flag.Int("fleet-traffic", 0, "fleetdrift: classification reads per epoch (0 = scale default)")
 		fleetAging   = flag.Float64("fleet-aging", 0, "fleetdrift: per-epoch stuck-conversion rate (0 = scale default, negative = no background aging)")
@@ -121,6 +138,40 @@ func run() int {
 	}
 	obs.SetLogger(log)
 
+	// Post-mortem instrumentation: the flight recorder retains the last
+	// structured events, the manifest makes every crash dump
+	// self-describing, and a panic escaping any driver (or the harness
+	// itself) is dumped before it is re-raised with its stack intact.
+	obs.SetFlight(obs.NewFlight(256))
+	obs.SetManifest(buildManifest(*exp, *scale, *seed))
+	dumpName := *exp
+	if dumpName == "" {
+		dumpName = "vortexsim"
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if path, err := obs.DumpCrash(*crashDir, dumpName, fmt.Sprintf("panic: %v", r)); err == nil {
+				fmt.Fprintf(os.Stderr, "vortexsim: crash dump written to %s\n", path)
+			}
+			panic(r)
+		}
+	}()
+	// SIGQUIT dumps and exits 131 — the "what is this run doing" escape
+	// hatch for a wedged sweep.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		<-quit
+		path, err := obs.DumpCrash(*crashDir, dumpName, "SIGQUIT")
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "vortexsim: SIGQUIT; crash dump written to %s\n", path)
+		}
+		os.Exit(exitQuit)
+	}()
+	if *tracePath != "" {
+		obs.SetTracer(obs.NewTraceBuffer(8192))
+	}
+
 	// Live progress from the Monte-Carlo fan-outs, throttled inside the
 	// experiment package.
 	experiment.SetProgress(func(done, total int, eta time.Duration) {
@@ -134,16 +185,30 @@ func run() int {
 	if *pprofAddr != "" {
 		// Expose the metrics registry next to the standard pprof and
 		// expvar endpoints so a long full-scale sweep can be inspected
-		// live: /debug/pprof/, /debug/vars.
+		// live: /debug/pprof/, /debug/vars, /metrics/prometheus. The
+		// server is closed (and its goroutine joined) on every exit path,
+		// including 124/130, so an aborted run never leaks the listener.
 		expvar.Publish("vortex_metrics", expvar.Func(func() any {
 			return obs.Default().Snapshot()
 		}))
-		go func() {
-			log.Info("pprof listening", "addr", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Error("pprof server failed", "addr", *pprofAddr, "err", err)
-			}
-		}()
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+		} else {
+			srv := &http.Server{Handler: newMetricsMux()}
+			served := make(chan struct{})
+			go func() {
+				defer close(served)
+				if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					log.Error("pprof server failed", "addr", *pprofAddr, "err", err)
+				}
+			}()
+			defer func() {
+				srv.Close()
+				<-served
+			}()
+			log.Info("pprof listening", "addr", ln.Addr().String())
+		}
 	}
 
 	runners := experiment.Runners()
@@ -256,8 +321,24 @@ func run() int {
 		log.Info("resume command", "cmd", resume)
 	}
 
-	// The snapshot is written even after a timeout or interrupt: the
-	// partial counters are often exactly what the user aborted to see.
+	// A run that died (driver failure or timeout) leaves a post-mortem
+	// dump; interrupts don't — Ctrl-C is the user, not a fault.
+	if code == exitFailure || code == exitTimeout {
+		reason := "driver failure"
+		if code == exitTimeout {
+			reason = "timeout"
+		}
+		if path, err := obs.DumpCrash(*crashDir, dumpName, reason); err != nil {
+			log.Warn("crash dump failed", "err", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "vortexsim: crash dump written to %s\n", path)
+			log.Info("crash dump written", "file", path, "reason", reason)
+		}
+	}
+
+	// The snapshot, trace and Prometheus dump are written even after a
+	// timeout or interrupt: the partial data is often exactly what the
+	// user aborted to see.
 	if *metrics != "" {
 		if err := writeMetrics(*metrics); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -268,7 +349,100 @@ func run() int {
 			log.Info("metrics snapshot written", "file", *metrics)
 		}
 	}
+	if *promPath != "" {
+		if err := writePromMetrics(*promPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == exitOK {
+				code = exitFailure
+			}
+		} else {
+			log.Info("prometheus metrics written", "file", *promPath)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == exitOK {
+				code = exitFailure
+			}
+		} else {
+			log.Info("trace written", "file", *tracePath, "spans", obs.Tracer().Len(),
+				"dropped", obs.Tracer().Dropped())
+		}
+	}
 	return code
+}
+
+// newMetricsMux builds the -pprof endpoint surface: the standard
+// net/http/pprof pages, expvar, and the Prometheus exposition of the
+// default metrics registry.
+func newMetricsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics/prometheus", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.Default().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// buildManifest captures the run identity attached to every crash dump.
+func buildManifest(exp, scale string, seed uint64) obs.Manifest {
+	flags := map[string]string{}
+	flag.Visit(func(f *flag.Flag) { flags[f.Name] = f.Value.String() })
+	return obs.Manifest{
+		Command:    "vortexsim",
+		Experiment: exp,
+		Scale:      scale,
+		Seed:       seed,
+		Flags:      flags,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		KernelISA:  mat.KernelISA(),
+		PID:        os.Getpid(),
+		Start:      time.Now(),
+	}
+}
+
+// writeTrace dumps the retained spans as Chrome trace_event JSON.
+func writeTrace(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vortexsim: creating trace file: %w", err)
+	}
+	werr := obs.Tracer().WriteChromeTrace(fh)
+	if cerr := fh.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("vortexsim: writing trace: %w", werr)
+	}
+	return nil
+}
+
+// writePromMetrics dumps the registry in Prometheus text format.
+func writePromMetrics(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("vortexsim: creating prometheus file: %w", err)
+	}
+	werr := obs.Default().WritePrometheus(fh)
+	if cerr := fh.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("vortexsim: writing prometheus metrics: %w", werr)
+	}
+	return nil
 }
 
 // abortCode classifies a run-ending error: the -timeout deadline and a

@@ -178,7 +178,11 @@ func (s *checkpointStore) flushLocked() error {
 func (s *checkpointStore) flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.flushLocked()
+	err := s.flushLocked()
+	if err == nil {
+		obs.RecordEvent("checkpoint", "flush", "file", s.path)
+	}
+	return err
 }
 
 // remove deletes the checkpoint file: the run completed with nothing

@@ -95,7 +95,7 @@ func newProgress(n int) *obs.Progress {
 // is returned after in-flight calls drain. External cancellation
 // returns ctx.Err() the same way.
 func parallelTrials[T any](ctx context.Context, n int, fn func(t Trial) (T, error)) ([]T, []bool, error) {
-	return parallelTrialsBatch(ctx, n, nil, fn)
+	return parallelTrialsBatch[T](ctx, n, nil, fn)
 }
 
 // vecChunk is the trial-group size the vectorized stage hands to a batch
@@ -116,15 +116,23 @@ const vecChunk = 32
 // completion mask) and every batch evaluator is required to produce
 // bit-identical values to fn (the SoA parity suites assert this):
 //
-//   - batchFn(idxs) must return one value per index in idxs, each equal
-//     to what fn would compute for that trial index.
+//   - batchFn(ctx, idxs) must return one value per index in idxs, each
+//     equal to what fn would compute for that trial index; ctx carries
+//     the chunk span for child-span attribution.
 //   - A batch error or panic abandons the vectorized stage (with a debug
 //     log and a fallback counter tick) and the remaining trials run
 //     per-trial — retries, panic isolation and partial degradation then
 //     apply exactly as without a batch path.
 //   - Trials replayed from a checkpoint never reach batchFn, so a resumed
 //     run mixes stored scalar and fresh vectorized values freely.
-func parallelTrialsBatch[T any](ctx context.Context, n int, batchFn func(idxs []int) ([]T, error), fn func(t Trial) (T, error)) ([]T, []bool, error) {
+//
+// The sweep is traced: parallelTrialsBatch opens a "sweep" span under
+// whatever span rides ctx (the registry decoration's experiment span),
+// the vectorized stage opens one "chunk" span per batch call beneath
+// it, and every scalar trial attempt runs under a leaf "trial" span —
+// the sweep → chunk → trial tree the -trace timeline renders. Retries,
+// panics, fallbacks and checkpoint replays are flight-recorder events.
+func parallelTrialsBatch[T any](ctx context.Context, n int, batchFn func(ctx context.Context, idxs []int) ([]T, error), fn func(t Trial) (T, error)) ([]T, []bool, error) {
 	out := make([]T, n)
 	done := make([]bool, n)
 	if n == 0 {
@@ -143,6 +151,8 @@ func parallelTrialsBatch[T any](ctx context.Context, n int, batchFn func(idxs []
 		runSeed = st.seed
 		seq = st.nextSweep()
 	}
+	ctx, ssp := obs.StartSpanCtx(ctx, "sweep", "seq", seq, "trials", n)
+	defer ssp.End()
 	progress := newProgress(n)
 	resumed := 0
 	if store := st.checkpoint(); store != nil {
@@ -156,6 +166,7 @@ func parallelTrialsBatch[T any](ctx context.Context, n int, batchFn func(idxs []
 		}
 		if resumed > 0 {
 			obs.Default().Counter("experiment.checkpoint.hits").Add(int64(resumed))
+			obs.RecordEvent("checkpoint", "resume", "seq", seq, "trials", resumed)
 			progress.Add(resumed)
 		}
 	}
@@ -210,7 +221,9 @@ func parallelTrialsBatch[T any](ctx context.Context, n int, batchFn func(idxs []
 			}
 			attempts = attempt + 1
 			t := Trial{Index: i, Attempt: attempt, Seed: retrySeed(runSeed, seq, i, attempt)}
+			tsp := obs.StartSpanFrom(ctx, "trial", "trial", i, "attempt", attempt)
 			v, err := safeTrial(fn, t)
+			tsp.End()
 			if err == nil {
 				out[i], done[i] = v, true
 				saveTrial(st, seq, n, i, v)
@@ -220,6 +233,8 @@ func parallelTrialsBatch[T any](ctx context.Context, n int, batchFn func(idxs []
 			var te *TrialError
 			if errors.As(err, &te) && te.Stack != "" {
 				obs.Default().Counter("experiment.trials.panics").Inc()
+				obs.RecordEvent("panic", "trial", "trial", i, "attempt", attempt,
+					"seed", fmt.Sprintf("%#x", t.Seed), "err", te.Err)
 			}
 			lastErr = err
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -232,6 +247,7 @@ func parallelTrialsBatch[T any](ctx context.Context, n int, batchFn func(idxs []
 				break
 			}
 			obs.Default().Counter("experiment.trials.retries").Inc()
+			obs.RecordEvent("retry", "trial", "trial", i, "attempt", attempt+1, "err", err)
 			if !sleepCtx(ctx, retry.backoff(attempt)) {
 				return
 			}
@@ -240,6 +256,8 @@ func parallelTrialsBatch[T any](ctx context.Context, n int, batchFn func(idxs []
 		if partial && !isFatal(lastErr) {
 			obs.L().Warn("trial abandoned (partial mode)", "trial", te.Index,
 				"seed", te.Seed, "attempts", te.Attempts, "err", te.Err)
+			obs.RecordEvent("trial.abandoned", "trial", "trial", te.Index,
+				"attempts", te.Attempts, "err", te.Err)
 			return
 		}
 		fail(te)
@@ -325,7 +343,7 @@ func safeTrial[T any](fn func(Trial) (T, error), t Trial) (v T, err error) {
 // stages apart. The first batch error or panic abandons the stage: the
 // failed chunk and everything after it go back to the scalar engine,
 // whose per-trial retries and panic isolation then apply.
-func runBatchStage[T any](ctx context.Context, st *sweepState, seq, n int, pending []int, batchFn func(idxs []int) ([]T, error), out []T, done []bool, progress *obs.Progress) []int {
+func runBatchStage[T any](ctx context.Context, st *sweepState, seq, n int, pending []int, batchFn func(ctx context.Context, idxs []int) ([]T, error), out []T, done []bool, progress *obs.Progress) []int {
 	for start := 0; start < len(pending); start += vecChunk {
 		if ctx.Err() != nil {
 			// The sweep is stopping; hand the rest to the scalar engine,
@@ -337,12 +355,17 @@ func runBatchStage[T any](ctx context.Context, st *sweepState, seq, n int, pendi
 			end = len(pending)
 		}
 		chunk := pending[start:end]
-		vals, err := safeBatch(batchFn, chunk)
+		cctx, csp := obs.StartSpanCtx(ctx, "chunk", "first", chunk[0], "trials", len(chunk))
+		chunkStart := time.Now()
+		vals, err := safeBatch(cctx, batchFn, chunk)
+		dur := csp.End()
 		if err == nil && len(vals) != len(chunk) {
 			err = fmt.Errorf("batch evaluator returned %d values for %d trials", len(vals), len(chunk))
 		}
 		if err != nil {
 			obs.Default().Counter("experiment.vec.fallbacks").Inc()
+			obs.RecordEvent("vec.fallback", "chunk", "first", chunk[0],
+				"remaining", len(pending)-start, "err", err)
 			obs.L().Debug("vectorized stage failed; falling back to per-trial evaluation",
 				"trials", len(pending)-start, "err", err)
 			return pending[start:]
@@ -350,6 +373,18 @@ func runBatchStage[T any](ctx context.Context, st *sweepState, seq, n int, pendi
 		for k, i := range chunk {
 			out[i], done[i] = vals[k], true
 			saveTrial(st, seq, n, i, vals[k])
+		}
+		if obs.TracingEnabled() {
+			// One fused batch call computed the whole chunk, so no real
+			// per-trial timing exists; synthesize amortized trial spans
+			// (an equal slice of the chunk each) so the timeline keeps
+			// per-trial attribution. Trace-only: latency histograms never
+			// see these synthetic durations.
+			slice := dur / time.Duration(len(chunk))
+			for k, i := range chunk {
+				obs.RecordSpan(cctx, "trial", chunkStart.Add(time.Duration(k)*slice), slice,
+					"trial", i, "amortized", true)
+			}
 		}
 		obs.Default().Counter("experiment.vec.trials").Add(int64(len(chunk)))
 		progress.Add(len(chunk))
@@ -360,13 +395,13 @@ func runBatchStage[T any](ctx context.Context, st *sweepState, seq, n int, pendi
 // safeBatch runs one batch evaluation with panic isolation, mirroring
 // safeTrial: a panicking batch evaluator becomes an error (and a scalar
 // re-run), never a process crash.
-func safeBatch[T any](batchFn func(idxs []int) ([]T, error), idxs []int) (vals []T, err error) {
+func safeBatch[T any](ctx context.Context, batchFn func(context.Context, []int) ([]T, error), idxs []int) (vals []T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("batch panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return batchFn(idxs)
+	return batchFn(ctx, idxs)
 }
 
 // saveTrial checkpoints one completed trial value. The value is

@@ -115,11 +115,13 @@ func instrumentRun(name string, run func(context.Context, Scale, uint64) (Result
 			}
 		}
 		ctx = withSweepState(ctx, st)
-		sp := obs.StartSpan("experiment." + name)
+		ctx, sp := obs.StartSpanCtx(ctx, "experiment."+name,
+			"exp", name, "scale", scale.String(), "seed", seed)
 		res, err := run(ctx, scale, seed)
 		elapsed := sp.End()
 		if err != nil {
 			obs.Default().Counter("experiment.failures").Inc()
+			obs.RecordEvent("experiment.failed", name, "elapsed", elapsed, "err", err)
 			log.Warn("experiment failed", "exp", name, "elapsed", elapsed, "err", err)
 			if store := st.checkpoint(); store != nil {
 				// Keep the completed trials: the next run resumes from them.

@@ -13,6 +13,7 @@ func TestRegistryCoversAllDrivers(t *testing.T) {
 		"fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "table1",
 		"schemes", "defects", "faults", "cost", "mappers", "tiling",
 		"mlp", "precision", "refresh", "retention", "fleetdrift", "soasweep",
+		"crashdemo",
 	}
 	for _, name := range want {
 		r, ok := Lookup(name)

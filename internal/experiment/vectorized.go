@@ -172,22 +172,31 @@ func ensembleRates(ctx context.Context, spec ensembleSpec) ([]float64, []bool, e
 		}
 		return n.Evaluate(spec.set)
 	}
-	var batch func(idxs []int) ([]float64, error)
+	var batch func(ctx context.Context, idxs []int) ([]float64, error)
 	if ok, reason := vecEligible(spec, pol, backend); ok {
 		cfg := ensembleNCSConfig(spec, backend)
-		batch = func(idxs []int) ([]float64, error) {
+		batch = func(bctx context.Context, idxs []int) ([]float64, error) {
 			seeds := make([]uint64, len(idxs))
 			for k, i := range idxs {
 				seeds[k] = spec.seeds[i]
 			}
+			fsp := obs.StartSpanFrom(bctx, "vec.fabricate", "trials", len(idxs))
 			ts, err := ncs.NewTrialSet(cfg, seeds)
+			fsp.End()
 			if err != nil {
 				return nil, err
 			}
-			if err := ts.ProgramWeights(spec.weights, hw.ProgramOptions{}); err != nil {
+			psp := obs.StartSpanFrom(bctx, "vec.program", "trials", len(idxs))
+			err = ts.ProgramWeights(spec.weights, hw.ProgramOptions{})
+			psp.End()
+			if err != nil {
 				return nil, err
 			}
-			return ts.EvaluateAll(spec.set)
+			esp := obs.StartSpanFrom(bctx, "vec.evaluate", "trials", len(idxs),
+				"samples", spec.set.Len())
+			rates, err := ts.EvaluateAll(spec.set)
+			esp.End()
+			return rates, err
 		}
 	} else if pol == VecAuto || pol == VecForce {
 		obs.L().Debug("ensemble sweep not vectorized", "reason", reason,

@@ -205,11 +205,11 @@ func TestBatchStageFallback(t *testing.T) {
 	fallbacks := obs.Default().Counter("experiment.vec.fallbacks")
 	for _, tc := range []struct {
 		name  string
-		batch func(idxs []int) ([]int, error)
+		batch func(ctx context.Context, idxs []int) ([]int, error)
 	}{
-		{"error", func(idxs []int) ([]int, error) { return nil, errors.New("boom") }},
-		{"panic", func(idxs []int) ([]int, error) { panic("boom") }},
-		{"short", func(idxs []int) ([]int, error) { return make([]int, len(idxs)-1), nil }},
+		{"error", func(ctx context.Context, idxs []int) ([]int, error) { return nil, errors.New("boom") }},
+		{"panic", func(ctx context.Context, idxs []int) ([]int, error) { panic("boom") }},
+		{"short", func(ctx context.Context, idxs []int) ([]int, error) { return make([]int, len(idxs)-1), nil }},
 	} {
 		before := fallbacks.Value()
 		var scalarRuns atomic.Int64
@@ -239,7 +239,7 @@ func TestBatchStageChunksAndBookkeeping(t *testing.T) {
 	const n = vecChunk*2 + 5
 	var calls [][]int
 	vals, done, err := parallelTrialsBatch(context.Background(), n,
-		func(idxs []int) ([]int, error) {
+		func(ctx context.Context, idxs []int) ([]int, error) {
 			calls = append(calls, append([]int(nil), idxs...))
 			out := make([]int, len(idxs))
 			for k, i := range idxs {
@@ -295,7 +295,7 @@ func TestBatchStageCheckpointResume(t *testing.T) {
 	// First pass: the batch stage fails, the scalar engine completes the
 	// first half and abandons the rest (partial mode) — mixed bookkeeping.
 	_, done, err := parallelTrialsBatch(mk(), n,
-		func(idxs []int) ([]float64, error) { return nil, errors.New("cold start") },
+		func(ctx context.Context, idxs []int) ([]float64, error) { return nil, errors.New("cold start") },
 		func(tr Trial) (float64, error) {
 			if tr.Index >= n/2 {
 				return 0, errors.New("simulated crash")
@@ -314,7 +314,7 @@ func TestBatchStageCheckpointResume(t *testing.T) {
 	// the batch stage computes exactly the missing half.
 	var batched []int
 	vals, done2, err := parallelTrialsBatch(mk(), n,
-		func(idxs []int) ([]float64, error) {
+		func(ctx context.Context, idxs []int) ([]float64, error) {
 			batched = append(batched, idxs...)
 			out := make([]float64, len(idxs))
 			for k, i := range idxs {

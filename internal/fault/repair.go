@@ -107,7 +107,7 @@ func Repair(ctx context.Context, n *ncs.NCS, w *mat.Matrix, pol Policy) (*Outcom
 		return nil, errors.New("fault: weight shape disagrees with NCS config")
 	}
 	pol = pol.withDefaults()
-	sp := obs.StartSpan("fault.repair")
+	ctx, sp := obs.StartSpanCtx(ctx, "fault.repair")
 	reg := obs.Default()
 	out := &Outcome{RowMap: n.RowMap()}
 	prevDamage := math.Inf(1)

@@ -183,7 +183,8 @@ func Scan(ctx context.Context, n *ncs.NCS, opts ScanOptions) (*Map, error) {
 	if opts.TargetHi <= opts.TargetLo {
 		return nil, errors.New("fault: scan targets must satisfy TargetLo < TargetHi")
 	}
-	defer obs.StartSpan("fault.scan").End()
+	_, ssp := obs.StartSpanCtx(ctx, "fault.scan")
+	defer ssp.End()
 	obs.Default().Counter("fault.scans").Inc()
 	m := &Map{Rows: n.PhysRows(), Cols: n.Config().Outputs}
 	expected := math.Log(opts.TargetHi / opts.TargetLo)

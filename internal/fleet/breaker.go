@@ -3,6 +3,8 @@ package fleet
 import (
 	"fmt"
 	"sync"
+
+	"vortex/internal/obs"
 )
 
 // BreakerState is the classic three-state circuit-breaker machine.
@@ -76,6 +78,7 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 type Breaker struct {
 	mu       sync.Mutex
 	cfg      BreakerConfig
+	name     string // flight-recorder identity; "" stays silent
 	state    BreakerState
 	recent   []bool // ring of recent outcomes, true = failure
 	pos      int    // next write position in recent
@@ -89,6 +92,14 @@ type Breaker struct {
 func NewBreaker(cfg BreakerConfig) *Breaker {
 	cfg = cfg.withDefaults()
 	return &Breaker{cfg: cfg, recent: make([]bool, cfg.Window)}
+}
+
+// newNamedBreaker builds a breaker whose state transitions are recorded
+// in the flight recorder under name (the fleet member id).
+func newNamedBreaker(name string, cfg BreakerConfig) *Breaker {
+	b := NewBreaker(cfg)
+	b.name = name
+	return b
 }
 
 // Allow reports whether a request may be routed through. While open it
@@ -208,8 +219,12 @@ func (b *Breaker) failures() int {
 }
 
 // reset moves to state and clears the window, rejection and probe
-// counters. Callers hold b.mu.
+// counters. Named breakers record the transition in the flight
+// recorder. Callers hold b.mu.
 func (b *Breaker) reset(state BreakerState) {
+	if b.name != "" && b.state != state {
+		obs.RecordEvent("breaker", b.name, "from", b.state, "to", state)
+	}
 	b.state = state
 	for i := range b.recent {
 		b.recent[i] = false

@@ -234,6 +234,8 @@ func healthScore(m *fault.Map) float64 {
 // maintenance (a Degraded member that passes its checks rejoins).
 func (c *Controller) maintain(ctx context.Context, m *Member, prior State) {
 	log := obs.L()
+	ctx, msp := obs.StartSpanCtx(ctx, "fleet.maintain", "member", m.id, "prior", prior.String())
+	defer msp.End()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -247,6 +249,7 @@ func (c *Controller) maintain(ctx context.Context, m *Member, prior State) {
 			c.errs.Add(1)
 			c.cErrors.Inc()
 			log.Warn("fleet scan failed", "member", m.id, "err", err)
+			obs.RecordEvent("fleet.scan.failed", m.id, "err", err)
 		}
 		m.setState(prior)
 		return
@@ -290,6 +293,7 @@ func (c *Controller) maintain(ctx context.Context, m *Member, prior State) {
 		c.retired.Add(1)
 		c.cRetired.Inc()
 		log.Warn("fleet member retired", "member", m.id, "health", health, "damage", damage)
+		obs.RecordEvent("fleet.retired", m.id, "health", health, "damage", damage)
 	default:
 		// Not good enough to rejoin, not bad enough (or not affordable)
 		// to retire: serve as last resort only.
@@ -300,6 +304,7 @@ func (c *Controller) maintain(ctx context.Context, m *Member, prior State) {
 		}
 		log.Warn("fleet member degraded", "member", m.id, "health", health,
 			"damage", damage, "gaveup", out.Degraded)
+		obs.RecordEvent("fleet.degraded", m.id, "health", health, "damage", damage)
 	}
 }
 
@@ -313,6 +318,7 @@ func (c *Controller) rejoin(m *Member, prior State, health, damage float64) {
 		c.rejoins.Add(1)
 		c.cRejoins.Inc()
 		obs.L().Info("fleet member rejoining", "member", m.id, "health", health, "damage", damage)
+		obs.RecordEvent("fleet.rejoin", m.id, "health", health, "damage", damage)
 	}
 	m.setState(Serving)
 }

@@ -195,7 +195,7 @@ func New(cfg Config, specs []MemberSpec) (*Fleet, error) {
 			id:      sp.ID,
 			sys:     sp.Sys,
 			weights: sp.Weights,
-			brk:     NewBreaker(cfg.Breaker),
+			brk:     newNamedBreaker(sp.ID, cfg.Breaker),
 			gState:  reg.Gauge(prefix + "state"),
 			gHealth: reg.Gauge(prefix + "health"),
 			cServed: reg.Counter(prefix + "served"),

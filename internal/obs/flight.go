@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: a fixed-size lock-free ring of recent structured
+// events — span ends, trial retries, breaker transitions, vectorized
+// fallbacks, checkpoint flushes — that a front end dumps alongside the
+// metrics snapshot and a run manifest when a run dies (panic escape,
+// SIGQUIT, timeout). The recorder answers the question the aggregate
+// counters cannot: not "how many breakers tripped" but "what happened
+// right before this one did".
+
+// Event is one flight-recorder entry. Attrs are stringified at record
+// time so a dump is always JSON-marshalable regardless of the attr
+// types (errors, durations, ±Inf floats).
+type Event struct {
+	// Seq is the global record sequence number (1-based); gaps in a dump
+	// mean the ring wrapped.
+	Seq uint64 `json:"seq"`
+	// Time is the wall-clock record time.
+	Time time.Time `json:"time"`
+	// Kind groups events ("span", "retry", "breaker", "vec.fallback",
+	// "checkpoint", "panic", ...).
+	Kind string `json:"kind"`
+	// Name identifies the subject within the kind (a span name, a breaker
+	// name, a trial label).
+	Name string `json:"name"`
+	// Attrs are the stringified slog-style key/value pairs.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Flight is the bounded lock-free event ring. Record is an atomic
+// counter bump plus one pointer store; once full, the oldest events are
+// overwritten. Safe for concurrent use from every worker.
+type Flight struct {
+	slots []atomic.Pointer[Event]
+	mask  uint64
+	seq   atomic.Uint64
+}
+
+// NewFlight returns a recorder retaining the most recent capacity
+// events (rounded up to a power of two, minimum 64).
+func NewFlight(capacity int) *Flight {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &Flight{slots: make([]atomic.Pointer[Event], n), mask: uint64(n - 1)}
+}
+
+// Record retains one event. A nil recorder is inert.
+func (f *Flight) Record(kind, name string, attrs ...any) {
+	if f == nil || !enabled.Load() {
+		return
+	}
+	ev := &Event{Seq: f.seq.Add(1), Time: time.Now(), Kind: kind, Name: name}
+	if len(attrs) >= 2 {
+		ev.Attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			ev.Attrs[fmt.Sprint(attrs[i])] = fmt.Sprint(attrs[i+1])
+		}
+	}
+	f.slots[(ev.Seq-1)&f.mask].Store(ev)
+}
+
+// Events returns the retained events in sequence order. Events recorded
+// concurrently with the snapshot may or may not appear; every returned
+// event is complete.
+func (f *Flight) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(f.slots))
+	for i := range f.slots {
+		if ev := f.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dropped returns how many events have been overwritten by newer ones.
+func (f *Flight) Dropped() int64 {
+	if f == nil {
+		return 0
+	}
+	n := f.seq.Load()
+	if n <= uint64(len(f.slots)) {
+		return 0
+	}
+	return int64(n - uint64(len(f.slots)))
+}
+
+// flight is the process-default recorder; nil (the default) records
+// nothing, so library code can call RecordEvent unconditionally.
+var flight atomic.Pointer[Flight]
+
+// SetFlight installs f as the process-default flight recorder (nil
+// removes it) and returns the previous one.
+func SetFlight(f *Flight) *Flight {
+	if f == nil {
+		return flight.Swap(nil)
+	}
+	return flight.Swap(f)
+}
+
+// FlightRecorder returns the installed recorder, nil when none is.
+func FlightRecorder() *Flight { return flight.Load() }
+
+// RecordEvent records one event into the process-default flight
+// recorder; a no-op (two atomic loads) when none is installed or
+// instrumentation is disabled.
+func RecordEvent(kind, name string, attrs ...any) {
+	flight.Load().Record(kind, name, attrs...)
+}
+
+// Manifest identifies one run for post-mortems: what was run, with
+// which flags and seed, on which toolchain and kernel dispatch level.
+// Front ends install one with SetManifest right after flag parsing so
+// every crash dump is self-describing.
+type Manifest struct {
+	Command    string            `json:"command,omitempty"`
+	Experiment string            `json:"experiment,omitempty"`
+	Scale      string            `json:"scale,omitempty"`
+	Seed       uint64            `json:"seed"`
+	Flags      map[string]string `json:"flags,omitempty"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	KernelISA  string            `json:"kernel_isa,omitempty"`
+	PID        int               `json:"pid"`
+	Start      time.Time         `json:"start"`
+}
+
+var manifest atomic.Pointer[Manifest]
+
+// SetManifest installs the run manifest attached to crash dumps.
+func SetManifest(m Manifest) { manifest.Store(&m) }
+
+// CurrentManifest returns the installed manifest, reporting whether one
+// was set.
+func CurrentManifest() (Manifest, bool) {
+	if m := manifest.Load(); m != nil {
+		return *m, true
+	}
+	return Manifest{}, false
+}
+
+// CrashDump is the post-mortem artifact: why the run died, the run
+// manifest, the final metrics snapshot, and the last flight-recorder
+// events in order.
+type CrashDump struct {
+	Reason        string    `json:"reason"`
+	Time          time.Time `json:"time"`
+	Manifest      *Manifest `json:"manifest,omitempty"`
+	Metrics       Snapshot  `json:"metrics"`
+	Events        []Event   `json:"events"`
+	EventsDropped int64     `json:"events_dropped,omitempty"`
+}
+
+// BuildCrashDump assembles a dump from the process defaults: the
+// installed manifest, the default registry's snapshot, and the
+// installed flight recorder's events.
+func BuildCrashDump(reason string) CrashDump {
+	d := CrashDump{Reason: reason, Time: time.Now()}
+	if m, ok := CurrentManifest(); ok {
+		d.Manifest = &m
+	}
+	d.Metrics = Default().Snapshot()
+	f := flight.Load()
+	d.Events = f.Events()
+	d.EventsDropped = f.Dropped()
+	return d
+}
+
+// WriteCrashDump writes the assembled dump as indented JSON. A metrics
+// snapshot that fails to marshal (a gauge someone set to ±Inf) is
+// dropped rather than losing the whole dump.
+func WriteCrashDump(w io.Writer, reason string) error {
+	d := BuildCrashDump(reason)
+	raw, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		d.Metrics = Snapshot{}
+		if raw, err = json.MarshalIndent(d, "", "  "); err != nil {
+			return fmt.Errorf("obs: encoding crash dump: %w", err)
+		}
+	}
+	_, err = w.Write(append(raw, '\n'))
+	return err
+}
+
+// DumpCrash writes a crash dump file named crash-<runner>-<unix-ts>.json
+// under dir (created if needed) and returns its path. runner should be
+// the experiment or command identity; it is sanitized into the
+// filename.
+func DumpCrash(dir, runner, reason string) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("obs: crash dump dir: %w", err)
+	}
+	name := fmt.Sprintf("crash-%s-%d.json", sanitizeFile(runner), time.Now().UnixNano())
+	path := filepath.Join(dir, name)
+	fh, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("obs: crash dump file: %w", err)
+	}
+	werr := WriteCrashDump(fh, reason)
+	if cerr := fh.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", werr
+	}
+	return path, nil
+}
+
+// sanitizeFile keeps a runner name filesystem-safe.
+func sanitizeFile(s string) string {
+	if s == "" {
+		return "run"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withFlight installs a fresh flight recorder for one test and restores
+// the previous one afterwards.
+func withFlight(t *testing.T, capacity int) *Flight {
+	t.Helper()
+	f := NewFlight(capacity)
+	prev := SetFlight(f)
+	t.Cleanup(func() { SetFlight(prev) })
+	return f
+}
+
+func TestFlightRecordAndEvents(t *testing.T) {
+	f := NewFlight(64)
+	f.Record("retry", "trial", "trial", 3, "err", errors.New("boom"), "elapsed", 2*time.Millisecond)
+	f.Record("breaker", "array0", "from", "closed", "to", "open")
+	evs := f.Events()
+	if len(evs) != 2 {
+		t.Fatalf("retained %d events, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Errorf("sequence numbers = %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].Kind != "retry" || evs[0].Name != "trial" {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	// Attrs are stringified at record time.
+	if evs[0].Attrs["trial"] != "3" || evs[0].Attrs["err"] != "boom" {
+		t.Errorf("attrs = %v", evs[0].Attrs)
+	}
+	if evs[1].Attrs["to"] != "open" {
+		t.Errorf("breaker attrs = %v", evs[1].Attrs)
+	}
+}
+
+func TestFlightWrapAndDropped(t *testing.T) {
+	f := NewFlight(64)
+	for i := 0; i < 200; i++ {
+		f.Record("k", "n", "i", i)
+	}
+	evs := f.Events()
+	if len(evs) != 64 {
+		t.Fatalf("retained %d events, want 64", len(evs))
+	}
+	if f.Dropped() != 136 {
+		t.Errorf("Dropped = %d, want 136", f.Dropped())
+	}
+	// The retained window is the most recent events, in order.
+	if evs[0].Seq != 137 || evs[63].Seq != 200 {
+		t.Errorf("window = [%d, %d], want [137, 200]", evs[0].Seq, evs[63].Seq)
+	}
+}
+
+func TestFlightNilAndDisabledAreInert(t *testing.T) {
+	var f *Flight
+	f.Record("k", "n") // must not panic
+	if f.Events() != nil || f.Dropped() != 0 {
+		t.Error("nil recorder not inert")
+	}
+	live := NewFlight(64)
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	live.Record("k", "n")
+	SetEnabled(true)
+	if len(live.Events()) != 0 {
+		t.Error("recorded through the disabled gate")
+	}
+}
+
+func TestRecordEventWithoutRecorderIsInert(t *testing.T) {
+	prev := SetFlight(nil)
+	defer SetFlight(prev)
+	RecordEvent("k", "n", "a", 1) // must not panic
+}
+
+func TestFlightConcurrentRecord(t *testing.T) {
+	f := withFlight(t, 128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				RecordEvent("hammer", "worker", "w", w, "i", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := f.Events()
+	if len(evs) != 128 {
+		t.Fatalf("retained %d events, want 128", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("events not strictly ordered by sequence")
+		}
+	}
+}
+
+func TestBuildCrashDumpCarriesManifestAndEvents(t *testing.T) {
+	withFlight(t, 64)
+	SetManifest(Manifest{Command: "test", Experiment: "exp1", Seed: 7,
+		GoVersion: "go-test", GOMAXPROCS: 4})
+	t.Cleanup(func() { manifest.Store(nil) })
+	RecordEvent("panic", "trial", "trial", 3)
+
+	d := BuildCrashDump("unit test")
+	if d.Reason != "unit test" {
+		t.Errorf("reason = %q", d.Reason)
+	}
+	if d.Manifest == nil || d.Manifest.Experiment != "exp1" || d.Manifest.Seed != 7 {
+		t.Errorf("manifest = %+v", d.Manifest)
+	}
+	found := false
+	for _, ev := range d.Events {
+		if ev.Kind == "panic" && ev.Attrs["trial"] == "3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("panic event missing from dump: %+v", d.Events)
+	}
+}
+
+func TestWriteCrashDumpIsValidJSON(t *testing.T) {
+	withFlight(t, 64)
+	RecordEvent("span", "sweep", "elapsed", 3*time.Millisecond)
+	var buf bytes.Buffer
+	if err := WriteCrashDump(&buf, "json test"); err != nil {
+		t.Fatal(err)
+	}
+	var back CrashDump
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("crash dump does not parse: %v\n%s", err, buf.String())
+	}
+	if back.Reason != "json test" || len(back.Events) == 0 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}
+
+func TestDumpCrashWritesFile(t *testing.T) {
+	dir := t.TempDir()
+	withFlight(t, 64)
+	path, err := DumpCrash(dir, "my/exp name", "file test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(path)
+	if !strings.HasPrefix(base, "crash-my_exp_name-") || !strings.HasSuffix(base, ".json") {
+		t.Errorf("dump filename = %q", base)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CrashDump
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("dump file does not parse: %v", err)
+	}
+}
+
+func TestCurrentManifestUnset(t *testing.T) {
+	prev := manifest.Swap(nil)
+	t.Cleanup(func() { manifest.Store(prev) })
+	if _, ok := CurrentManifest(); ok {
+		t.Error("CurrentManifest reported a manifest when none is set")
+	}
+}

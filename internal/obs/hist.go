@@ -42,10 +42,14 @@ func NewHistogram() *Histogram {
 	return h
 }
 
-// bucketIndex maps a value to its bucket.
+// bucketIndex maps a value to its bucket. Non-positive values and NaN
+// fall into the underflow bucket, +Inf into the overflow bucket.
 func bucketIndex(v float64) int {
 	if v <= 0 || math.IsNaN(v) {
 		return bucketUnder
+	}
+	if math.IsInf(v, 1) {
+		return bucketOver
 	}
 	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
 	switch {
@@ -70,16 +74,17 @@ func bucketMid(idx int) float64 {
 	return math.Ldexp(1+(float64(sub)+0.5)/histSubs, exp-1)
 }
 
-// Record adds one observation. Non-positive and NaN values are counted
-// in the underflow bucket so the count stays honest, but they do not
-// perturb min/sum.
+// Record adds one observation. Non-positive, NaN and ±Inf values are
+// counted (underflow/overflow buckets) so the count stays honest, but
+// they do not perturb min/max/sum — a single +Inf would otherwise
+// poison the sum and make the snapshot unmarshalable as JSON.
 func (h *Histogram) Record(v float64) {
 	if h == nil || !enabled.Load() {
 		return
 	}
 	h.buckets[bucketIndex(v)].Add(1)
 	h.count.Add(1)
-	if v > 0 && !math.IsNaN(v) {
+	if v > 0 && !math.IsNaN(v) && !math.IsInf(v, 1) {
 		addFloat(&h.sumBits, v)
 		casMin(&h.minBits, v)
 		casMax(&h.maxBits, v)
@@ -115,6 +120,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	min := math.Float64frombits(h.minBits.Load())
 	max := math.Float64frombits(h.maxBits.Load())
+	if math.IsInf(min, 1) || math.IsInf(max, -1) {
+		// Only sentinel values (non-positive, NaN, +Inf) were recorded;
+		// there is no finite observation to clamp to.
+		min, max = 0, 0
+	}
 	// rank is 1-based: the rank-th smallest observation.
 	rank := int64(math.Ceil(q * float64(total)))
 	if rank < 1 {

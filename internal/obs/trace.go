@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Hierarchical tracing. A span started with StartSpanCtx carries a
+// 64-bit trace ID shared by every span of one logical operation (an
+// experiment run, a fleet maintenance pass) plus its own span ID and
+// its parent's span ID, all drawn from a process-wide splitmix64
+// stream. The IDs ride a context.Context, so a driver that threads ctx
+// through its fan-out gets a real span tree — sweep → chunk → trial —
+// with no extra plumbing. Ended spans are recorded into an optional
+// bounded TraceBuffer and exportable as Chrome trace_event JSON
+// (chrome://tracing, Perfetto); without a buffer installed the IDs
+// still propagate but nothing is retained, so tracing costs two atomic
+// loads on the paths that do not use it.
+
+// idState is the splitmix64 generator state behind trace and span IDs.
+// Seeded from the clock once so concurrent processes produce disjoint
+// streams; stepping is one atomic add plus the mixer, and the output is
+// never zero (zero means "no ID" throughout the package).
+var idState atomic.Uint64
+
+func init() { idState.Store(uint64(time.Now().UnixNano()) | 1) }
+
+// newID returns the next nonzero splitmix64 ID.
+func newID() uint64 {
+	for {
+		x := idState.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// SpanRecord is one completed span as retained by a TraceBuffer: the
+// identity triple, the histogram/span name, wall-clock start, duration
+// and the slog-style attr pairs the span was started with.
+type SpanRecord struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64 // zero for a root span
+	Name     string
+	Start    time.Time
+	Dur      time.Duration
+	Attrs    []any
+}
+
+// TraceBuffer is a bounded lock-free ring of recently completed spans.
+// Add is an atomic counter bump plus one pointer store, so the trial
+// fan-out can record from every worker; once full, the oldest spans are
+// overwritten. Snapshotting walks the slots and sorts by start time.
+type TraceBuffer struct {
+	slots []atomic.Pointer[SpanRecord]
+	mask  uint64
+	next  atomic.Uint64 // spans ever added
+}
+
+// NewTraceBuffer returns a buffer retaining the most recent capacity
+// spans (rounded up to a power of two, minimum 64).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &TraceBuffer{slots: make([]atomic.Pointer[SpanRecord], n), mask: uint64(n - 1)}
+}
+
+// add retains one completed span, overwriting the oldest when full.
+func (tb *TraceBuffer) add(rec *SpanRecord) {
+	if tb == nil || rec == nil {
+		return
+	}
+	i := tb.next.Add(1) - 1
+	tb.slots[i&tb.mask].Store(rec)
+}
+
+// Len returns the number of spans currently retained.
+func (tb *TraceBuffer) Len() int {
+	if tb == nil {
+		return 0
+	}
+	n := tb.next.Load()
+	if n > uint64(len(tb.slots)) {
+		return len(tb.slots)
+	}
+	return int(n)
+}
+
+// Dropped returns how many spans have been overwritten by newer ones.
+func (tb *TraceBuffer) Dropped() int64 {
+	if tb == nil {
+		return 0
+	}
+	n := tb.next.Load()
+	if n <= uint64(len(tb.slots)) {
+		return 0
+	}
+	return int64(n - uint64(len(tb.slots)))
+}
+
+// Spans returns the retained spans sorted by start time. The copy is
+// taken slot by slot, so spans recorded concurrently with the snapshot
+// may or may not appear; every returned record is complete.
+func (tb *TraceBuffer) Spans() []SpanRecord {
+	if tb == nil {
+		return nil
+	}
+	out := make([]SpanRecord, 0, len(tb.slots))
+	for i := range tb.slots {
+		if rec := tb.slots[i].Load(); rec != nil {
+			out = append(out, *rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// tracer is the process-default trace buffer; nil (the default) retains
+// nothing.
+var tracer atomic.Pointer[TraceBuffer]
+
+// SetTracer installs tb as the process-default trace buffer (nil
+// removes it) and returns the previous one.
+func SetTracer(tb *TraceBuffer) *TraceBuffer {
+	if tb == nil {
+		return tracer.Swap(nil)
+	}
+	return tracer.Swap(tb)
+}
+
+// Tracer returns the installed trace buffer, nil when tracing is off.
+func Tracer() *TraceBuffer { return tracer.Load() }
+
+// TracingEnabled reports whether ended spans are being retained: a
+// trace buffer is installed and instrumentation is globally enabled.
+func TracingEnabled() bool { return enabled.Load() && tracer.Load() != nil }
+
+// RecordSpan injects one trace-only span with explicit timing under the
+// active span of ctx — the hook for amortized per-item attribution
+// inside a batched stage, where the batch is timed as a whole but the
+// timeline should still show which items it covered. The record goes to
+// the trace buffer only: no histogram sample and no flight-recorder
+// event, so synthesized attributions never contaminate the measured
+// latency series. It is a no-op without an installed buffer.
+func RecordSpan(ctx context.Context, name string, start time.Time, d time.Duration, attrs ...any) {
+	tb := tracer.Load()
+	if tb == nil || !enabled.Load() {
+		return
+	}
+	var traceID, parentID uint64
+	if sc, ok := SpanFromContext(ctx); ok {
+		traceID, parentID = sc.TraceID, sc.SpanID
+	} else {
+		traceID = newID()
+	}
+	tb.add(&SpanRecord{TraceID: traceID, SpanID: newID(), ParentID: parentID,
+		Name: name, Start: start, Dur: d, Attrs: attrs})
+}
+
+// WriteChromeTrace renders the retained spans as Chrome trace_event
+// JSON ("X" complete events, microsecond timestamps), loadable in
+// chrome://tracing and Perfetto. Every event's args carry the trace,
+// span and parent IDs in hex plus the span's attrs, so the tree is
+// machine-recoverable even where the visual nesting is approximate.
+//
+// Thread (tid) assignment packs each parent's children onto the
+// parent's row while they do not overlap in time and spills concurrent
+// siblings onto fresh rows, so a sequential run renders as one nested
+// timeline and a parallel fan-out as one row per concurrent worker.
+func (tb *TraceBuffer) WriteChromeTrace(w io.Writer) error {
+	spans := tb.Spans()
+	laneOf := map[uint64]int{0: 0}         // span ID -> tid; 0 is the virtual root lane
+	lastChildEnd := map[uint64]time.Time{} // parent span ID -> end of last child sharing its lane
+	lanes := 1
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, s := range spans {
+		parentLane, haveParent := laneOf[s.ParentID]
+		lane := -1
+		if haveParent {
+			if last, ok := lastChildEnd[s.ParentID]; !ok || !s.Start.Before(last) {
+				lane = parentLane
+				lastChildEnd[s.ParentID] = s.Start.Add(s.Dur)
+			}
+		}
+		if lane < 0 {
+			lane = lanes
+			lanes++
+		}
+		laneOf[s.SpanID] = lane
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		if err := writeChromeEvent(bw, s, lane); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeChromeEvent emits one "X" complete event.
+func writeChromeEvent(w io.Writer, s SpanRecord, tid int) error {
+	ts := float64(s.Start.UnixNano()) / 1e3
+	dur := float64(s.Dur.Nanoseconds()) / 1e3
+	if dur <= 0 {
+		dur = 0.001 // zero-width slices are dropped by some viewers
+	}
+	_, err := fmt.Fprintf(w,
+		`{"name":%q,"cat":"vortex","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d,"args":{"trace":"%016x","span":"%016x","parent":"%016x"%s}}`,
+		s.Name, ts, dur, tid, s.TraceID, s.SpanID, s.ParentID, attrArgs(s.Attrs))
+	return err
+}
+
+// attrArgs renders slog-style attr pairs as extra JSON args, values
+// stringified so arbitrary types (durations, errors) stay valid JSON.
+func attrArgs(attrs []any) string {
+	if len(attrs) < 2 {
+		return ""
+	}
+	out := ""
+	for i := 0; i+1 < len(attrs); i += 2 {
+		out += fmt.Sprintf(",%q:%q", fmt.Sprint(attrs[i]), fmt.Sprint(attrs[i+1]))
+	}
+	return out
+}

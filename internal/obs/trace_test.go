@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// withTracer installs a fresh trace buffer for one test and restores
+// the previous one afterwards.
+func withTracer(t *testing.T, capacity int) *TraceBuffer {
+	t.Helper()
+	tb := NewTraceBuffer(capacity)
+	prev := SetTracer(tb)
+	t.Cleanup(func() { SetTracer(prev) })
+	return tb
+}
+
+func TestNewIDNonzeroAndDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		id := newID()
+		if id == 0 {
+			t.Fatal("newID returned zero")
+		}
+		if seen[id] {
+			t.Fatalf("newID repeated %#x after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestStartSpanCtxBuildsTree(t *testing.T) {
+	tb := withTracer(t, 64)
+	ctx, root := StartSpanCtx(context.Background(), "root")
+	cctx, child := StartSpanCtx(ctx, "child")
+	leaf := StartSpanFrom(cctx, "leaf")
+	leaf.End()
+	child.End()
+	root.End()
+
+	spans := tb.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, c, l := byName["root"], byName["child"], byName["leaf"]
+	if r.TraceID == 0 || r.TraceID != c.TraceID || c.TraceID != l.TraceID {
+		t.Errorf("trace IDs diverge: root=%#x child=%#x leaf=%#x", r.TraceID, c.TraceID, l.TraceID)
+	}
+	if r.ParentID != 0 {
+		t.Errorf("root has parent %#x, want 0", r.ParentID)
+	}
+	if c.ParentID != r.SpanID {
+		t.Errorf("child parent = %#x, want root span %#x", c.ParentID, r.SpanID)
+	}
+	if l.ParentID != c.SpanID {
+		t.Errorf("leaf parent = %#x, want child span %#x", l.ParentID, c.SpanID)
+	}
+}
+
+func TestStartSpanFromStartsFreshTrace(t *testing.T) {
+	withTracer(t, 64)
+	s := StartSpanFrom(context.Background(), "orphan")
+	if s == nil {
+		t.Fatal("nil span while enabled")
+	}
+	if s.traceID == 0 || s.spanID == 0 || s.parentID != 0 {
+		t.Fatalf("orphan identity = trace %#x span %#x parent %#x", s.traceID, s.spanID, s.parentID)
+	}
+}
+
+// TestSpanEndHonorsDisableGate is the regression test for the End-side
+// gate: a span started while enabled but ended after SetEnabled(false)
+// must record nothing — no histogram sample, no trace record, no flight
+// event — so a measurement window closed with SetEnabled is not
+// contaminated by draining spans.
+func TestSpanEndHonorsDisableGate(t *testing.T) {
+	tb := withTracer(t, 64)
+	f := NewFlight(64)
+	prevF := SetFlight(f)
+	t.Cleanup(func() { SetFlight(prevF) })
+
+	r := NewRegistry()
+	ctx, sp := r.StartSpanCtx(context.Background(), "gated")
+	_ = ctx
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	if d := sp.End(); d != 0 {
+		t.Errorf("End while disabled returned %v, want 0", d)
+	}
+	SetEnabled(true)
+	if n := r.Histogram("span.gated").Count(); n != 0 {
+		t.Errorf("histogram recorded %d samples through the closed gate", n)
+	}
+	if n := tb.Len(); n != 0 {
+		t.Errorf("trace buffer retained %d spans through the closed gate", n)
+	}
+	if evs := f.Events(); len(evs) != 0 {
+		t.Errorf("flight recorder kept %d events through the closed gate", len(evs))
+	}
+}
+
+func TestTraceBufferWrapAndDropped(t *testing.T) {
+	tb := NewTraceBuffer(64)
+	for i := 0; i < 100; i++ {
+		tb.add(&SpanRecord{SpanID: uint64(i + 1), Name: "s", Start: time.Unix(0, int64(i))})
+	}
+	if tb.Len() != 64 {
+		t.Errorf("Len = %d, want 64", tb.Len())
+	}
+	if tb.Dropped() != 36 {
+		t.Errorf("Dropped = %d, want 36", tb.Dropped())
+	}
+	spans := tb.Spans()
+	if len(spans) != 64 {
+		t.Fatalf("Spans returned %d records, want 64", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start.Before(spans[i-1].Start) {
+			t.Fatal("Spans not sorted by start time")
+		}
+	}
+}
+
+func TestRecordSpanIsTraceOnly(t *testing.T) {
+	tb := withTracer(t, 64)
+	r := NewRegistry()
+	ctx, sp := r.StartSpanCtx(context.Background(), "parent")
+	RecordSpan(ctx, "synthetic", time.Now(), time.Millisecond, "amortized", true)
+	sp.End()
+
+	spans := tb.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans, want parent + synthetic", len(spans))
+	}
+	var syn *SpanRecord
+	for i := range spans {
+		if spans[i].Name == "synthetic" {
+			syn = &spans[i]
+		}
+	}
+	if syn == nil {
+		t.Fatal("synthetic span not retained")
+	}
+	if syn.ParentID == 0 || syn.TraceID == 0 {
+		t.Errorf("synthetic span lost its parentage: %+v", syn)
+	}
+	if n := r.Histogram("span.synthetic").Count(); n != 0 {
+		t.Errorf("RecordSpan contaminated the latency histogram with %d samples", n)
+	}
+}
+
+func TestWriteChromeTraceParsesAndNests(t *testing.T) {
+	tb := withTracer(t, 64)
+	ctx, root := StartSpanCtx(context.Background(), "root", "k", "v")
+	_, child := StartSpanCtx(ctx, "child")
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tb.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("exported %d events, want 2", len(doc.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Dur < 0 {
+			t.Errorf("event %s: ph=%q dur=%v", e.Name, e.Ph, e.Dur)
+		}
+		byName[e.Name] = i
+	}
+	r, c := doc.TraceEvents[byName["root"]], doc.TraceEvents[byName["child"]]
+	if c.Args["parent"] != r.Args["span"] {
+		t.Errorf("child parent arg %v, want root span %v", c.Args["parent"], r.Args["span"])
+	}
+	if c.Args["trace"] != r.Args["trace"] {
+		t.Errorf("trace args diverge: %v vs %v", c.Args["trace"], r.Args["trace"])
+	}
+	// The sequential child shares its parent's lane.
+	if c.Tid != r.Tid {
+		t.Errorf("sequential child on lane %d, parent on %d", c.Tid, r.Tid)
+	}
+	if r.Args["k"] != "v" {
+		t.Errorf("root attrs lost: %v", r.Args)
+	}
+}
+
+func TestWriteChromeTraceSpillsConcurrentSiblings(t *testing.T) {
+	tb := NewTraceBuffer(64)
+	base := time.Now()
+	// Two children overlapping in time under one parent: the second must
+	// move off the parent's lane.
+	tb.add(&SpanRecord{TraceID: 1, SpanID: 10, Name: "parent", Start: base, Dur: 10 * time.Millisecond})
+	tb.add(&SpanRecord{TraceID: 1, SpanID: 11, ParentID: 10, Name: "a", Start: base.Add(time.Millisecond), Dur: 5 * time.Millisecond})
+	tb.add(&SpanRecord{TraceID: 1, SpanID: 12, ParentID: 10, Name: "b", Start: base.Add(2 * time.Millisecond), Dur: 5 * time.Millisecond})
+	var buf bytes.Buffer
+	if err := tb.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	tid := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		tid[e.Name] = e.Tid
+	}
+	if tid["a"] != tid["parent"] {
+		t.Errorf("first child on lane %d, parent on %d", tid["a"], tid["parent"])
+	}
+	if tid["b"] == tid["parent"] {
+		t.Error("overlapping sibling packed onto the parent's lane")
+	}
+}
+
+func TestTracingEnabledStates(t *testing.T) {
+	if prev := SetTracer(nil); prev != nil {
+		defer SetTracer(prev)
+	}
+	if TracingEnabled() {
+		t.Error("TracingEnabled with no buffer installed")
+	}
+	withTracer(t, 64)
+	if !TracingEnabled() {
+		t.Error("TracingEnabled false with a buffer installed")
+	}
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	if TracingEnabled() {
+		t.Error("TracingEnabled true while instrumentation is disabled")
+	}
+}
