@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-json bench-json-fleet bench-json-soa bench-json-obs doccheck fuzz experiments fmt vet clean
+.PHONY: all build test test-short race bench bench-json bench-json-fleet bench-json-soa bench-json-obs bench-json-serve doccheck fuzz experiments fmt vet clean
 
 all: build test
 
@@ -25,6 +25,7 @@ race:
 	$(GO) test -race ./cmd/vortexsim/
 	$(GO) test -race ./internal/fault/
 	$(GO) test -race ./internal/fleet/
+	$(GO) test -race ./internal/serve/
 
 # Regenerates every paper table/figure plus the extension studies at
 # Default scale and records the outputs at the repository root.
@@ -56,6 +57,12 @@ bench-json-soa:
 # the five-percent overhead budget (BENCH_pr8.json).
 bench-json-obs:
 	$(GO) run ./cmd/benchjson -obs -o BENCH_pr8.json
+
+# Serving-path saturation record: vortexload boots a quick-scale fleet
+# server in-process and drives the binary hot path to saturation,
+# recording qps and the p50/p99/p999 latency profile (BENCH_pr9.json).
+bench-json-serve:
+	$(GO) run ./cmd/vortexload -selfserve -scale quick -seed 42 -n 40000 -c 16 -proto binary -o BENCH_pr9.json
 
 # Doc-coverage gate: every exported identifier in every package must
 # carry a godoc comment (see cmd/doccheck).

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+// The binary hot path shares the HTTP listener: a connection whose
+// first four bytes are Magic speaks length-prefixed frames instead of
+// HTTP. All integers are little-endian.
+//
+// Request frame:   [u32 count][count x f64]        one input vector
+// Response frame:  [u8 status] then
+//   StatusOK:          [i32 class][u8 degraded][u32 n][n x f64 scores]
+//   anything else:     [u32 retryAfterMs][u32 len][len bytes message]
+//
+// Requests on one connection are answered in order, one response per
+// request; concurrency comes from opening more connections, and the
+// server's micro-batcher coalesces frames across connections.
+
+// Magic is the 4-byte connection preamble that selects the binary
+// protocol on the shared listener.
+var Magic = [4]byte{'V', 'X', 'B', '1'}
+
+// Binary response status codes.
+const (
+	// StatusOK answers a classified request.
+	StatusOK byte = 0
+	// StatusBadRequest rejects a malformed frame (wrong dimension,
+	// non-finite values, oversized count).
+	StatusBadRequest byte = 1
+	// StatusOverloaded rejects a frame because the request queue is
+	// full; retry after the advertised back-off.
+	StatusOverloaded byte = 2
+	// StatusDraining rejects a frame because the server is shutting
+	// down; the connection is closed after the response.
+	StatusDraining byte = 3
+	// StatusInternal reports an engine failure for an admitted request.
+	StatusInternal byte = 4
+)
+
+// maxFrameFloats bounds a request frame's element count (guards the
+// server against a hostile length prefix; generous above the largest
+// real input dimension).
+const maxFrameFloats = 1 << 20
+
+// handleBinary speaks the framed protocol on one connection until the
+// client closes it, a frame is malformed beyond recovery, or drain
+// pokes the idle read. Each frame is admitted through the same queue
+// as HTTP requests.
+func (s *Server) handleBinary(c net.Conn) {
+	s.connsMu.Lock()
+	s.conns[c] = struct{}{}
+	s.connsMu.Unlock()
+	defer func() {
+		s.connsMu.Lock()
+		delete(s.conns, c)
+		s.connsMu.Unlock()
+		c.Close()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		x, err := readRequestFrame(br, s.cfg.Inputs)
+		if err != nil {
+			if errors.Is(err, errBadFrame) {
+				// Dimension/validity rejection: answer and keep the
+				// connection — the framing itself is still in sync.
+				c.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
+				writeErrorFrame(bw, StatusBadRequest, 0, err.Error())
+				bw.Flush()
+				continue
+			}
+			return // EOF, torn frame, or the drain poke
+		}
+		start := time.Now()
+		cls, err := s.submit(x)
+		c.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeErrorFrame(bw, StatusOverloaded, s.cfg.RetryAfter, err.Error())
+		case errors.Is(err, ErrDraining):
+			writeErrorFrame(bw, StatusDraining, s.cfg.RetryAfter, err.Error())
+		case err != nil:
+			writeErrorFrame(bw, StatusInternal, 0, err.Error())
+		default:
+			writeOKFrame(bw, cls)
+		}
+		if ferr := bw.Flush(); ferr != nil {
+			return
+		}
+		if err == nil {
+			s.hBinary.RecordDuration(time.Since(start))
+		}
+		if errors.Is(err, ErrDraining) {
+			return
+		}
+	}
+}
+
+// errBadFrame marks an in-sync frame the server rejects (the
+// connection survives); any other read error tears the connection.
+var errBadFrame = errors.New("bad frame")
+
+// readRequestFrame reads one [count][floats] frame and validates it
+// against the expected input dimension.
+func readRequestFrame(r io.Reader, inputs int) ([]float64, error) {
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count == 0 || count > maxFrameFloats {
+		return nil, fmt.Errorf("%w: count %d out of range", errBadFrame, count)
+	}
+	buf := make([]byte, 8*int(count))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	if int(count) != inputs {
+		return nil, fmt.Errorf("%w: input length %d, want %d", errBadFrame, count, inputs)
+	}
+	x := make([]float64, count)
+	for i := range x {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite value at %d", errBadFrame, i)
+		}
+		x[i] = v
+	}
+	return x, nil
+}
+
+// writeRequestFrame writes one input vector as a request frame.
+func writeRequestFrame(w io.Writer, x []float64) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(x))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// writeOKFrame writes a StatusOK response frame.
+func writeOKFrame(w io.Writer, cls Classification) error {
+	var deg byte
+	if cls.Degraded {
+		deg = 1
+	}
+	if _, err := w.Write([]byte{StatusOK}); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int32(cls.Class)); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{deg}); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(cls.Scores))); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*len(cls.Scores))
+	for i, v := range cls.Scores {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// writeErrorFrame writes a non-OK response frame with the retry hint
+// and message.
+func writeErrorFrame(w io.Writer, status byte, retryAfter time.Duration, msg string) error {
+	if _, err := w.Write([]byte{status}); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(retryAfter.Milliseconds())); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(msg))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, msg)
+	return err
+}
+
+// RemoteError is a non-OK binary response decoded by the client.
+type RemoteError struct {
+	// Status is the response frame's status byte.
+	Status byte
+	// RetryAfter is the server's suggested back-off (backpressure
+	// statuses only).
+	RetryAfter time.Duration
+	// Msg is the server's message.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("serve: remote status %d: %s", e.Status, e.Msg)
+}
+
+// Overloaded reports whether the error is a backpressure rejection
+// (queue full or draining) the client should back off from.
+func (e *RemoteError) Overloaded() bool {
+	return e.Status == StatusOverloaded || e.Status == StatusDraining
+}
+
+// BinaryClient is a client for the binary hot path: one connection,
+// synchronous request/response. It is not safe for concurrent use;
+// open one per goroutine (that is also what feeds the server's
+// micro-batcher).
+type BinaryClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// DialBinary connects to a serve listener and performs the magic
+// handshake.
+func DialBinary(addr string, timeout time.Duration) (*BinaryClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(Magic[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &BinaryClient{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Classify sends one input vector and decodes the response. A non-OK
+// status is returned as *RemoteError; transport failures as-is.
+func (c *BinaryClient) Classify(x []float64) (Classification, error) {
+	if err := writeRequestFrame(c.w, x); err != nil {
+		return Classification{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Classification{}, err
+	}
+	return readResponseFrame(c.r)
+}
+
+// Close closes the connection.
+func (c *BinaryClient) Close() error { return c.conn.Close() }
+
+// readResponseFrame decodes one response frame.
+func readResponseFrame(r io.Reader) (Classification, error) {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return Classification{}, err
+	}
+	if status[0] != StatusOK {
+		var retryMs, msgLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &retryMs); err != nil {
+			return Classification{}, err
+		}
+		if err := binary.Read(r, binary.LittleEndian, &msgLen); err != nil {
+			return Classification{}, err
+		}
+		if msgLen > 1<<16 {
+			return Classification{}, errors.New("serve: oversized error message")
+		}
+		msg := make([]byte, msgLen)
+		if _, err := io.ReadFull(r, msg); err != nil {
+			return Classification{}, err
+		}
+		return Classification{}, &RemoteError{
+			Status:     status[0],
+			RetryAfter: time.Duration(retryMs) * time.Millisecond,
+			Msg:        string(msg),
+		}
+	}
+	var cls int32
+	if err := binary.Read(r, binary.LittleEndian, &cls); err != nil {
+		return Classification{}, err
+	}
+	var deg [1]byte
+	if _, err := io.ReadFull(r, deg[:]); err != nil {
+		return Classification{}, err
+	}
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return Classification{}, err
+	}
+	if n > maxFrameFloats {
+		return Classification{}, errors.New("serve: oversized score vector")
+	}
+	buf := make([]byte, 8*int(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Classification{}, err
+	}
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return Classification{Class: int(cls), Scores: scores, Degraded: deg[0] == 1}, nil
+}

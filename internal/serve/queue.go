@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"time"
+
+	"vortex/internal/obs"
+)
+
+// request is one admitted classification read waiting in the queue.
+// resp is buffered (capacity 1) so a batcher worker never blocks on a
+// client that walked away.
+type request struct {
+	x    []float64
+	resp chan response
+}
+
+// response is the worker's answer to one request: the classification or
+// the engine error that failed its batch.
+type response struct {
+	cls Classification
+	err error
+}
+
+// enqueue admits r to the bounded queue without blocking. A full queue
+// returns ErrQueueFull and a draining server ErrDraining; on success
+// the request is counted in-flight and is guaranteed an answer.
+func (s *Server) enqueue(r *request) error {
+	// Order matters for the drain race: the in-flight Add happens
+	// before the draining check, so a request admitted concurrently
+	// with Shutdown is either rejected here (Add undone) or visible to
+	// the drain's Wait.
+	s.inflight.Add(1)
+	if s.draining.Load() {
+		s.inflight.Done()
+		s.rejectedDrn.Add(1)
+		s.cRejDrain.Inc()
+		return ErrDraining
+	}
+	select {
+	case s.queue <- r:
+		s.accepted.Add(1)
+		s.cAccepted.Inc()
+		s.gQueue.Set(float64(len(s.queue)))
+		return nil
+	default:
+		s.inflight.Done()
+		s.rejectedFull.Add(1)
+		s.cRejFull.Inc()
+		return ErrQueueFull
+	}
+}
+
+// worker is one batcher goroutine: it pulls the next request, lingers
+// briefly for more (up to BatchMax), and routes the micro-batch into
+// the engine's ReadBatch in one call. Workers keep running through a
+// drain — they are what flushes the queue — and exit only when the
+// drain has emptied it and closed stopWorkers.
+func (s *Server) worker() {
+	defer s.workersDone.Done()
+	batch := make([]*request, 0, s.cfg.BatchMax)
+	xs := make([][]float64, 0, s.cfg.BatchMax)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case r := <-s.queue:
+			batch = append(batch[:0], r)
+			s.fill(&batch, timer)
+			s.runBatch(batch, xs[:0])
+		case <-s.stopWorkers:
+			return
+		}
+	}
+}
+
+// fill grows a started batch up to BatchMax: first by draining whatever
+// is already queued without blocking, then — when a linger is
+// configured — by waiting up to BatchLinger for stragglers. The linger
+// is what coalesces concurrent connections into one ReadBatch.
+func (s *Server) fill(batch *[]*request, timer *time.Timer) {
+	for len(*batch) < s.cfg.BatchMax {
+		select {
+		case r := <-s.queue:
+			*batch = append(*batch, r)
+			continue
+		default:
+		}
+		break
+	}
+	if s.cfg.BatchLinger <= 0 || len(*batch) >= s.cfg.BatchMax {
+		return
+	}
+	timer.Reset(s.cfg.BatchLinger)
+	for len(*batch) < s.cfg.BatchMax {
+		select {
+		case r := <-s.queue:
+			*batch = append(*batch, r)
+		case <-timer.C:
+			return
+		}
+	}
+	if !timer.Stop() {
+		<-timer.C
+	}
+}
+
+// runBatch routes one micro-batch into the engine and fans the answers
+// back out to the waiting requests. An engine error fails every request
+// in the batch — the fleet router already exhausted failover before
+// reporting it.
+func (s *Server) runBatch(batch []*request, xs [][]float64) {
+	span := obs.StartSpan("serve.batch", "size", len(batch))
+	for _, r := range batch {
+		xs = append(xs, r.x)
+	}
+	res, err := s.cfg.Engine.ReadBatch(xs)
+	for i, r := range batch {
+		if err != nil {
+			r.resp <- response{err: err}
+			s.failed.Add(1)
+			s.cFailed.Inc()
+		} else {
+			r.resp <- response{cls: Classification{
+				Class:    res.Classes[i],
+				Scores:   res.Scores[i],
+				Member:   res.Member,
+				Degraded: res.Degraded,
+			}}
+			s.served.Add(1)
+			s.cServed.Inc()
+		}
+		s.inflight.Done()
+	}
+	s.hBatch.Record(float64(len(batch)))
+	s.gQueue.Set(float64(len(s.queue)))
+	span.End()
+}
