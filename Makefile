@@ -26,6 +26,7 @@ race:
 	$(GO) test -race ./internal/fault/
 	$(GO) test -race ./internal/fleet/
 	$(GO) test -race ./internal/serve/
+	$(GO) test -race ./internal/chaos/
 
 # Regenerates every paper table/figure plus the extension studies at
 # Default scale and records the outputs at the repository root.

@@ -23,9 +23,16 @@
 //
 // Shutdown: SIGTERM or SIGINT starts a graceful drain — the listener
 // closes, new admissions get 503/status 3, everything already admitted
-// is flushed through the fleet, and the served count is logged. Exit
-// codes: 0 clean drain, 1 boot/serve failure or drain timeout, 2 usage
-// error.
+// is flushed through the fleet, and the served count is logged. The
+// drain self-checks the admitted⇒answered books (accepted must equal
+// served + failed + timed-out) and fails the exit when they don't
+// balance. Exit codes: 0 clean drain, 1 boot/serve failure, drain
+// timeout or accounting mismatch, 2 usage error.
+//
+// Chaos: -chaos arms the seeded network fault injector
+// (internal/chaos) on the listener — e.g. -chaos latency,partial,reset
+// -chaos-seed 11 replays the same per-connection fault sequence every
+// run. It exists for resilience testing; never arm it in production.
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"vortex/internal/chaos"
 	"vortex/internal/hw"
 	"vortex/internal/obs"
 	"vortex/internal/serve"
@@ -69,6 +77,14 @@ func run() int {
 		workers     = flag.Int("workers", 2, "batcher goroutines")
 		retryAfter  = flag.Duration("retry-after", 250*time.Millisecond, "client back-off advertised on backpressure rejections")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "bound on the graceful drain after SIGTERM/SIGINT")
+
+		readTimeout  = flag.Duration("read-timeout", 10*time.Second, "bound on one request finishing its arrival (anti-slowloris)")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "bound on one binary response write")
+		idleTimeout  = flag.Duration("idle-timeout", 2*time.Minute, "bound on a connection sitting idle between requests")
+		reqTimeout   = flag.Duration("request-timeout", 15*time.Second, "per-request deadline from admission to answer (negative disables)")
+
+		chaosMode = flag.String("chaos", "", "arm the network fault injector: comma list of latency, partial, reset, corrupt, accept-stall, freeze; or all (testing only)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "fault injector seed: the same seed replays the same per-connection fault sequence")
 
 		verbose   = flag.Bool("v", false, "verbose: shorthand for -log-level debug")
 		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn or error")
@@ -119,22 +135,37 @@ func run() int {
 		"accuracy", fmt.Sprintf("%.3f", boot.Accuracy), "elapsed", time.Since(bootStart).Round(time.Millisecond))
 
 	srv, err := serve.New(serve.Config{
-		Inputs:      boot.Inputs,
-		Engine:      boot.Fleet,
-		QueueDepth:  *queueDepth,
-		BatchMax:    *batchMax,
-		BatchLinger: *batchLinger,
-		Workers:     *workers,
-		RetryAfter:  *retryAfter,
+		Inputs:         boot.Inputs,
+		Engine:         boot.Fleet,
+		QueueDepth:     *queueDepth,
+		BatchMax:       *batchMax,
+		BatchLinger:    *batchLinger,
+		Workers:        *workers,
+		RetryAfter:     *retryAfter,
+		ReadTimeout:    *readTimeout,
+		WriteTimeout:   *writeTimeout,
+		IdleTimeout:    *idleTimeout,
+		RequestTimeout: *reqTimeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vortexd:", err)
 		return exitFailure
 	}
-	ln, err := net.Listen("tcp", *addr)
+	var ln net.Listener
+	ln, err = net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vortexd:", err)
 		return exitFailure
+	}
+	if *chaosMode != "" && *chaosMode != "none" {
+		modes, err := chaos.ParseMode(*chaosMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vortexd:", err)
+			return exitUsage
+		}
+		ln = chaos.Wrap(ln, chaos.Config{Seed: *chaosSeed, Modes: modes})
+		log.Warn("chaos injector armed — every connection rides the fault stream",
+			"modes", modes.String(), "seed", *chaosSeed)
 	}
 	log.Info("vortexd listening", "addr", ln.Addr().String(), "inputs", boot.Inputs,
 		"queue", *queueDepth, "batch", *batchMax, "workers", *workers)
@@ -165,7 +196,17 @@ func run() int {
 	st := srv.Stats()
 	log.Info("drain complete", "served", st.Served, "accepted", st.Accepted,
 		"rejected_queue_full", st.RejectedQueueFull, "rejected_draining", st.RejectedDraining,
-		"failed", st.Failed)
+		"failed", st.Failed, "timed_out", st.TimedOut)
+	// The admitted⇒answered self-check: a completed drain with admitted
+	// requests unaccounted for means a response was lost — fail loudly
+	// so the chaos smoke (and any operator) sees it.
+	if st.Accepted != st.Served+st.Failed+st.TimedOut {
+		log.Error("drain accounting mismatch", "accepted", st.Accepted,
+			"served", st.Served, "failed", st.Failed, "timed_out", st.TimedOut)
+		fmt.Fprintf(os.Stderr, "vortexd: drain accounting mismatch: accepted %d != served %d + failed %d + timed_out %d\n",
+			st.Accepted, st.Served, st.Failed, st.TimedOut)
+		return exitFailure
+	}
 	fmt.Printf("vortexd: drained cleanly; served %d requests\n", st.Served)
 	return exitOK
 }

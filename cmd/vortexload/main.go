@@ -10,6 +10,13 @@
 //
 //	vortexload -addr 127.0.0.1:8372 -scale quick -n 10000 -c 8 -proto binary
 //	vortexload -selfserve -scale quick -n 40000 -c 16 -o BENCH_pr9.json
+//	vortexload -addr 127.0.0.1:8372 -retries 4 -hedge 50ms -req-timeout 2s
+//
+// Resilience: -retries arms the binary workers' retry policy (capped
+// jittered exponential backoff behind a retry budget), -hedge fires a
+// duplicate request on a second connection when the first stalls, and
+// -req-timeout bounds one attempt. The report counts what the
+// machinery did: retries, hedges, hedge wins and timeouts.
 //
 // -selfserve boots a fleet and a serve.Server in-process on a loopback
 // listener, drives it over real TCP, then drains it — the one-command
@@ -55,6 +62,15 @@ type workerStats struct {
 	degraded  int64
 	rejected  int64 // backpressure rejections (retried)
 	errors    int64
+	client    serve.ClientStats // binary resilience counters
+}
+
+// clientOpts carries the resilience flags into the binary workers.
+type clientOpts struct {
+	retries    int
+	backoff    time.Duration
+	hedge      time.Duration
+	reqTimeout time.Duration
 }
 
 // latencySummary is the quantile block of the report.
@@ -84,6 +100,10 @@ type report struct {
 	Rejected    int64          `json:"rejected_backpressure"`
 	Errors      int64          `json:"errors"`
 	Degraded    int64          `json:"degraded"`
+	Retries     int64          `json:"retries,omitempty"`
+	Hedges      int64          `json:"hedges,omitempty"`
+	HedgeWins   int64          `json:"hedge_wins,omitempty"`
+	Timeouts    int64          `json:"timeouts,omitempty"`
 	ElapsedSec  float64        `json:"elapsed_sec"`
 	QPS         float64        `json:"qps"`
 	LatencyUs   latencySummary `json:"latency_us"`
@@ -107,6 +127,11 @@ func run() int {
 		proto     = flag.String("proto", "binary", "protocol: json, binary or mixed (workers alternate)")
 		connWait  = flag.Duration("connect-timeout", 15*time.Second, "how long to wait for the server to accept connections")
 		out       = flag.String("o", "", "write the JSON report here (e.g. BENCH_pr9.json)")
+
+		retries      = flag.Int("retries", 1, "binary: max attempts per request (1 = no retries)")
+		retryBackoff = flag.Duration("retry-backoff", 10*time.Millisecond, "binary: first retry's backoff ceiling (doubles, jittered)")
+		hedge        = flag.Duration("hedge", 0, "binary: fire a duplicate request on a second connection after this stall (0 = off)")
+		reqTimeout   = flag.Duration("req-timeout", 0, "binary: bound one attempt's round-trip (0 = unbounded)")
 
 		members = flag.Int("members", 3, "selfserve: arrays in the fleet")
 		queueD  = flag.Int("queue", 256, "selfserve: request-queue depth")
@@ -184,7 +209,10 @@ func run() int {
 		wg.Add(1)
 		go func(w int, p string, budget int64) {
 			defer wg.Done()
-			runWorker(&stats[w], p, target, set, w, budget)
+			runWorker(&stats[w], p, target, set, w, budget, clientOpts{
+				retries: *retries, backoff: *retryBackoff,
+				hedge: *hedge, reqTimeout: *reqTimeout,
+			})
 		}(w, p, perWorker[w])
 	}
 	wg.Wait()
@@ -209,6 +237,10 @@ func run() int {
 	fmt.Printf("vortexload: %d answered / %d sent in %.2fs  qps=%.0f  p50=%.0fµs p99=%.0fµs p999=%.0fµs  acc=%.3f  rejected=%d errors=%d\n",
 		rep.Answered, rep.Requests, rep.ElapsedSec, rep.QPS,
 		rep.LatencyUs.P50, rep.LatencyUs.P99, rep.LatencyUs.P999, rep.Accuracy, rep.Rejected, rep.Errors)
+	if rep.Retries+rep.Hedges+rep.Timeouts > 0 {
+		fmt.Printf("vortexload: resilience: retries=%d hedges=%d hedge_wins=%d timeouts=%d\n",
+			rep.Retries, rep.Hedges, rep.HedgeWins, rep.Timeouts)
+	}
 	if rep.Answered == 0 {
 		fmt.Fprintln(os.Stderr, "vortexload: no request was answered")
 		return exitFailure
@@ -268,16 +300,35 @@ func waitReady(addr string, timeout time.Duration) error {
 
 // runWorker runs one closed loop: send, measure, honor backpressure,
 // repeat until the budget is spent. Worker w starts at a staggered
-// offset of the sample set so concurrent workers don't lockstep.
-func runWorker(st *workerStats, proto, addr string, set *dataset.Set, w int, budget int64) {
+// offset of the sample set so concurrent workers don't lockstep. The
+// binary path rides a ResilientClient — retries, budget and hedging
+// per opts — and its resilience counters land in st.client.
+func runWorker(st *workerStats, proto, addr string, set *dataset.Set, w int, budget int64, opts clientOpts) {
 	st.latencies = make([]float64, 0, budget)
-	var bc *serve.BinaryClient
 	httpClient := &http.Client{Timeout: 30 * time.Second}
-	defer func() {
-		if bc != nil {
-			bc.Close()
+	var rc *serve.ResilientClient
+	if proto == "binary" {
+		var err error
+		rc, err = serve.NewResilientClient(serve.ClientConfig{
+			Addr:           addr,
+			DialTimeout:    5 * time.Second,
+			RequestTimeout: opts.reqTimeout,
+			HedgeDelay:     opts.hedge,
+			Retry: serve.RetryPolicy{
+				MaxAttempts: opts.retries,
+				BaseBackoff: opts.backoff,
+				Seed:        uint64(w + 1),
+			},
+		})
+		if err != nil {
+			st.errors += budget
+			return
 		}
-	}()
+		defer func() {
+			st.client = rc.Stats()
+			rc.Close()
+		}()
+	}
 	idx := (w * 37) % set.Len()
 	for sent := int64(0); sent < budget; {
 		s := set.Samples[idx]
@@ -290,24 +341,13 @@ func runWorker(st *workerStats, proto, addr string, set *dataset.Set, w int, bud
 		)
 		t0 := time.Now()
 		if proto == "binary" {
-			if bc == nil {
-				bc, err = serve.DialBinary(addr, 5*time.Second)
-				if err != nil {
-					st.errors++
-					sent++
-					time.Sleep(50 * time.Millisecond)
-					continue
-				}
-			}
-			cls, err = bc.Classify(s.Pixels)
+			cls, err = rc.Classify(s.Pixels)
 			var rerr *serve.RemoteError
 			if errors.As(err, &rerr) && rerr.Overloaded() {
+				// The retry policy gave up on (or never retried) a
+				// backpressure rejection: honor the advertised back-off
+				// without spending budget, like the JSON path.
 				rejected, retryAft = true, rerr.RetryAfter
-			} else if err != nil {
-				// Transport error: drop the connection and redial next
-				// iteration.
-				bc.Close()
-				bc = nil
 			}
 		} else {
 			cls, rejected, retryAft, err = classifyJSON(httpClient, addr, s.Pixels)
@@ -408,6 +448,10 @@ func buildReport(stats []workerStats, elapsed time.Duration, proto, scale, addr 
 		rep.Rejected += st.rejected
 		rep.Errors += st.errors
 		rep.Degraded += st.degraded
+		rep.Retries += st.client.Retries
+		rep.Hedges += st.client.Hedges
+		rep.HedgeWins += st.client.HedgeWins
+		rep.Timeouts += st.client.Timeouts
 		correct += st.correct
 		all = append(all, st.latencies...)
 	}

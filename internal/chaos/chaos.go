@@ -1,0 +1,519 @@
+// Package chaos is a seeded, deterministic network fault injector: a
+// net.Listener / net.Conn wrapper that dials latency spikes, partial
+// (chunked, delayed) writes, mid-frame connection resets, byte
+// corruption, accept stalls and read/write freezes into an otherwise
+// healthy transport. It exists to harden the serving stack the same
+// way the simulator hardens training — inject the imperfection
+// deliberately, then prove the system survives it.
+//
+// Determinism is the whole point: every fault decision is drawn from a
+// splitmix64 stream derived from (Seed, connection index), so the k-th
+// I/O operation on the n-th accepted connection makes the same
+// decision on every run. Re-running the same operation sequence under
+// the same seed replays the identical fault sequence — the Log records
+// it so tests can assert exactly that.
+//
+// The wrapper sits server-side (wrap the listener vortexd serves on),
+// which puts both directions of every connection behind the injector:
+// client→server bytes are corrupted/stalled on the wrapped Read,
+// server→client bytes on the wrapped Write.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vortex/internal/obs"
+)
+
+// Mode is a bitmask of fault classes the injector may fire.
+type Mode uint32
+
+// Fault classes. Combine them with |; ModeAll enables everything.
+const (
+	// Latency delays individual reads and writes by a random spike.
+	Latency Mode = 1 << iota
+	// Partial splits writes into short chunks with inter-chunk delays,
+	// stressing the peer's frame reassembly.
+	Partial
+	// Reset tears the connection mid-operation: half the write (or none
+	// of the read) happens, then the underlying conn is closed and the
+	// operation errors — a mid-frame RST.
+	Reset
+	// Corrupt flips one byte of a read or write.
+	Corrupt
+	// AcceptStall sleeps before handing an accepted connection to the
+	// server, holding up the (sequential) accept loop.
+	AcceptStall
+	// Freeze stalls a read or write for FreezeDur — long enough to trip
+	// the peer's timeouts, bounded so tests terminate.
+	Freeze
+
+	// ModeAll enables every fault class.
+	ModeAll = Latency | Partial | Reset | Corrupt | AcceptStall | Freeze
+)
+
+// String renders the enabled fault classes as a comma-joined list.
+func (m Mode) String() string {
+	if m == 0 {
+		return "none"
+	}
+	var parts []string
+	for _, e := range modeNames {
+		if m&e.mode != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// modeNames maps fault classes to their flag names, in render order.
+var modeNames = []struct {
+	mode Mode
+	name string
+}{
+	{Latency, "latency"},
+	{Partial, "partial"},
+	{Reset, "reset"},
+	{Corrupt, "corrupt"},
+	{AcceptStall, "accept-stall"},
+	{Freeze, "freeze"},
+}
+
+// ParseMode parses a comma-separated mode list ("latency,corrupt"),
+// "all" or "none" into a Mode bitmask.
+func ParseMode(s string) (Mode, error) {
+	switch strings.TrimSpace(s) {
+	case "", "none":
+		return 0, nil
+	case "all":
+		return ModeAll, nil
+	}
+	var m Mode
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		found := false
+		for _, e := range modeNames {
+			if part == e.name {
+				m |= e.mode
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("chaos: unknown mode %q (want latency, partial, reset, corrupt, accept-stall, freeze, all or none)", part)
+		}
+	}
+	return m, nil
+}
+
+// Config tunes the injector. Zero probability/magnitude fields resolve
+// to the documented defaults; only Modes selects which faults actually
+// fire.
+type Config struct {
+	// Seed derives every per-connection decision stream. The same seed
+	// over the same operation sequence replays the same faults.
+	Seed uint64
+	// Modes selects the fault classes that may fire.
+	Modes Mode
+
+	// LatencyProb is the per-operation probability of a latency spike.
+	// Default 0.2.
+	LatencyProb float64
+	// LatencyMax bounds one latency spike (uniform in (0, LatencyMax]).
+	// Default 20ms.
+	LatencyMax time.Duration
+	// PartialProb is the per-write probability of chunking. Default 0.3.
+	PartialProb float64
+	// ResetProb is the per-operation probability of a mid-operation
+	// connection reset. Default 0.02.
+	ResetProb float64
+	// CorruptProb is the per-operation probability of flipping one byte.
+	// Default 0.05.
+	CorruptProb float64
+	// AcceptStallProb is the per-accept probability of a stall.
+	// Default 0.25.
+	AcceptStallProb float64
+	// AcceptStallMax bounds one accept stall. Default 50ms.
+	AcceptStallMax time.Duration
+	// FreezeProb is the per-operation probability of a freeze.
+	// Default 0.01.
+	FreezeProb float64
+	// FreezeDur is how long one freeze stalls the operation.
+	// Default 500ms.
+	FreezeDur time.Duration
+	// LogCap bounds the injector's fault log (oldest entries are kept;
+	// the log is for replay assertions, not unbounded history).
+	// Default 4096.
+	LogCap int
+}
+
+func (c Config) withDefaults() Config {
+	if c.LatencyProb == 0 {
+		c.LatencyProb = 0.2
+	}
+	if c.LatencyMax == 0 {
+		c.LatencyMax = 20 * time.Millisecond
+	}
+	if c.PartialProb == 0 {
+		c.PartialProb = 0.3
+	}
+	if c.ResetProb == 0 {
+		c.ResetProb = 0.02
+	}
+	if c.CorruptProb == 0 {
+		c.CorruptProb = 0.05
+	}
+	if c.AcceptStallProb == 0 {
+		c.AcceptStallProb = 0.25
+	}
+	if c.AcceptStallMax == 0 {
+		c.AcceptStallMax = 50 * time.Millisecond
+	}
+	if c.FreezeProb == 0 {
+		c.FreezeProb = 0.01
+	}
+	if c.FreezeDur == 0 {
+		c.FreezeDur = 500 * time.Millisecond
+	}
+	if c.LogCap == 0 {
+		c.LogCap = 4096
+	}
+	return c
+}
+
+// Event is one injected fault, recorded for replay assertions.
+type Event struct {
+	// Conn is the accepted connection's index (0-based, accept order).
+	// Accept-level events use the index of the connection about to be
+	// accepted.
+	Conn uint64
+	// Op is the operation the fault fired on: "read", "write" or
+	// "accept".
+	Op string
+	// Kind is the fault class name (see Mode.String element names).
+	Kind string
+	// Seq is the fault's per-connection decision sequence number — the
+	// index of the splitmix64 draw block that produced it, which pins
+	// the replay identity tighter than wall-clock ever could.
+	Seq uint64
+}
+
+// String renders the event compactly ("c3 write corrupt #12").
+func (e Event) String() string {
+	return fmt.Sprintf("c%d %s %s #%d", e.Conn, e.Op, e.Kind, e.Seq)
+}
+
+// ErrInjectedReset is the error a Reset fault surfaces on the faulted
+// operation (the underlying connection is closed too, so the peer sees
+// a real reset/EOF).
+var ErrInjectedReset = errors.New("chaos: injected connection reset")
+
+// Injector wraps a net.Listener with seeded fault injection. Build one
+// with Wrap.
+type Injector struct {
+	net.Listener
+	cfg   Config
+	rnd   splitmix // accept-level decisions
+	rndMu sync.Mutex
+	conns atomic.Uint64
+
+	mu  sync.Mutex
+	log []Event
+
+	cLatency, cPartial, cReset, cCorrupt, cAccept, cFreeze *obs.Counter
+}
+
+// Wrap returns an Injector serving ln's connections through the fault
+// modes in cfg. With Modes == 0 the wrapper is transparent.
+func Wrap(ln net.Listener, cfg Config) *Injector {
+	cfg = cfg.withDefaults()
+	reg := obs.Default()
+	return &Injector{
+		Listener: ln,
+		cfg:      cfg,
+		rnd:      splitmix{state: cfg.Seed ^ 0x6368616f735f6c6e}, // "chaos_ln"
+		cLatency: reg.Counter("chaos.injected.latency"),
+		cPartial: reg.Counter("chaos.injected.partial"),
+		cReset:   reg.Counter("chaos.injected.reset"),
+		cCorrupt: reg.Counter("chaos.injected.corrupt"),
+		cAccept:  reg.Counter("chaos.injected.accept_stall"),
+		cFreeze:  reg.Counter("chaos.injected.freeze"),
+	}
+}
+
+// Accept implements net.Listener: it accepts from the wrapped listener,
+// optionally stalls, and returns the connection behind the per-conn
+// fault stream.
+func (in *Injector) Accept() (net.Conn, error) {
+	c, err := in.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	id := in.conns.Add(1) - 1
+	if in.cfg.Modes&AcceptStall != 0 {
+		in.rndMu.Lock()
+		fire := in.rnd.float() < in.cfg.AcceptStallProb
+		frac := in.rnd.float()
+		in.rndMu.Unlock()
+		if fire {
+			in.record(Event{Conn: id, Op: "accept", Kind: "accept-stall", Seq: id})
+			in.cAccept.Inc()
+			sleepAtLeast(time.Duration(frac * float64(in.cfg.AcceptStallMax)))
+		}
+	}
+	return &Conn{
+		Conn: c,
+		in:   in,
+		id:   id,
+		rnd:  splitmix{state: in.cfg.Seed ^ (id+1)*0x9e3779b97f4a7c15},
+	}, nil
+}
+
+// WrapConn puts a single already-established connection behind the
+// injector's fault stream for the given connection id, without going
+// through Accept. Tests use it to script exact operation sequences
+// (e.g. over net.Pipe) and assert seed replay; the id picks which
+// deterministic stream the connection draws from.
+func (in *Injector) WrapConn(c net.Conn, id uint64) *Conn {
+	return &Conn{
+		Conn: c,
+		in:   in,
+		id:   id,
+		rnd:  splitmix{state: in.cfg.Seed ^ (id+1)*0x9e3779b97f4a7c15},
+	}
+}
+
+// Events snapshots the fault log in injection order.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+// EventsByConn returns the fault log grouped per connection, each
+// group in per-connection sequence order — the replay-stable view (the
+// interleaving across connections depends on goroutine scheduling; the
+// per-connection sequence does not).
+func (in *Injector) EventsByConn() map[uint64][]Event {
+	evs := in.Events()
+	out := map[uint64][]Event{}
+	for _, e := range evs {
+		out[e.Conn] = append(out[e.Conn], e)
+	}
+	for _, g := range out {
+		sort.Slice(g, func(i, j int) bool { return g[i].Seq < g[j].Seq })
+	}
+	return out
+}
+
+// record appends one event to the bounded fault log.
+func (in *Injector) record(e Event) {
+	in.mu.Lock()
+	if len(in.log) < in.cfg.LogCap {
+		in.log = append(in.log, e)
+	}
+	in.mu.Unlock()
+}
+
+// Conn is one accepted connection behind the injector. All fault
+// decisions come from its own splitmix64 stream, keyed by the
+// connection's accept index.
+type Conn struct {
+	net.Conn
+	in *Injector
+	id uint64
+
+	// mu serializes the decision stream: reads and writes may run on
+	// different goroutines, and each decision block must be drawn
+	// atomically for the stream to stay replayable per direction.
+	mu  sync.Mutex
+	rnd splitmix
+	seq uint64
+
+	closed atomic.Bool
+}
+
+// decision is one atomically-drawn fault decision block.
+type decision struct {
+	kind  Mode
+	frac  float64 // magnitude fraction in [0,1) for latency/stalls
+	chunk float64 // chunking fraction for partial writes
+	bytep float64 // byte-position fraction for corruption
+	seq   uint64
+}
+
+// draw consumes one decision block from the connection's stream. The
+// block always consumes the same number of splitmix64 draws regardless
+// of which fault (if any) fires, so the stream position — and with it
+// every later decision — depends only on the operation count, never on
+// which faults were enabled upstream of it.
+func (c *Conn) draw(isWrite bool) decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := decision{seq: c.seq}
+	c.seq++
+	pFault := c.rnd.float()
+	d.frac = c.rnd.float()
+	d.chunk = c.rnd.float()
+	d.bytep = c.rnd.float()
+	cfg := &c.in.cfg
+	m := cfg.Modes
+	// One uniform draw selects at most one fault per operation by
+	// stacked probability bands; band layout is fixed so enabling or
+	// disabling a mode never shifts another mode's band.
+	band := 0.0
+	pick := func(mode Mode, prob float64) bool {
+		in := m&mode != 0 && pFault >= band && pFault < band+prob
+		band += prob
+		return in
+	}
+	switch {
+	case pick(Reset, cfg.ResetProb):
+		d.kind = Reset
+	case pick(Freeze, cfg.FreezeProb):
+		d.kind = Freeze
+	case pick(Corrupt, cfg.CorruptProb):
+		d.kind = Corrupt
+	case pick(Latency, cfg.LatencyProb):
+		d.kind = Latency
+	case pick(Partial, cfg.PartialProb):
+		if isWrite {
+			d.kind = Partial
+		}
+	}
+	return d
+}
+
+// opName renders the direction for the event log.
+func opName(isWrite bool) string {
+	if isWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// apply records and performs the pre-I/O side effects of a decision
+// (sleeps, resets). It returns ErrInjectedReset when the connection was
+// torn.
+func (c *Conn) apply(d decision, isWrite bool) error {
+	cfg := &c.in.cfg
+	switch d.kind {
+	case Reset:
+		c.in.record(Event{Conn: c.id, Op: opName(isWrite), Kind: "reset", Seq: d.seq})
+		c.in.cReset.Inc()
+		c.closed.Store(true)
+		c.Conn.Close()
+		return ErrInjectedReset
+	case Freeze:
+		c.in.record(Event{Conn: c.id, Op: opName(isWrite), Kind: "freeze", Seq: d.seq})
+		c.in.cFreeze.Inc()
+		sleepAtLeast(cfg.FreezeDur)
+	case Latency:
+		c.in.record(Event{Conn: c.id, Op: opName(isWrite), Kind: "latency", Seq: d.seq})
+		c.in.cLatency.Inc()
+		sleepAtLeast(time.Duration(d.frac * float64(cfg.LatencyMax)))
+	}
+	return nil
+}
+
+// Read implements net.Conn with read-side fault injection. Corruption
+// flips one byte of what was actually read; resets tear the connection
+// before any byte moves.
+func (c *Conn) Read(b []byte) (int, error) {
+	d := c.draw(false)
+	if err := c.apply(d, false); err != nil {
+		return 0, err
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 && d.kind == Corrupt {
+		c.in.record(Event{Conn: c.id, Op: "read", Kind: "corrupt", Seq: d.seq})
+		c.in.cCorrupt.Inc()
+		b[int(d.bytep*float64(n))] ^= 0xa5
+	}
+	return n, err
+}
+
+// Write implements net.Conn with write-side fault injection. Partial
+// writes go out in two delayed chunks; a reset tears the connection
+// after the first chunk — a genuinely half-written frame.
+func (c *Conn) Write(b []byte) (int, error) {
+	d := c.draw(true)
+	switch d.kind {
+	case Reset:
+		// Mid-frame reset: flush roughly half before tearing down, so
+		// the peer sees a torn frame rather than a clean close.
+		cut := int(d.frac * float64(len(b)))
+		n, _ := c.Conn.Write(b[:cut])
+		if err := c.apply(d, true); err != nil {
+			return n, err
+		}
+	case Corrupt:
+		c.in.record(Event{Conn: c.id, Op: "write", Kind: "corrupt", Seq: d.seq})
+		c.in.cCorrupt.Inc()
+		if len(b) > 0 {
+			mut := make([]byte, len(b))
+			copy(mut, b)
+			mut[int(d.bytep*float64(len(b)))] ^= 0xa5
+			return c.Conn.Write(mut)
+		}
+	case Partial:
+		c.in.record(Event{Conn: c.id, Op: "write", Kind: "partial", Seq: d.seq})
+		c.in.cPartial.Inc()
+		cut := 1 + int(d.chunk*float64(len(b)-1))
+		if len(b) < 2 {
+			cut = len(b)
+		}
+		n, err := c.Conn.Write(b[:cut])
+		if err != nil || n < cut {
+			return n, err
+		}
+		sleepAtLeast(time.Duration(d.frac * float64(c.in.cfg.LatencyMax)))
+		m, err := c.Conn.Write(b[cut:])
+		return n + m, err
+	default:
+		if err := c.apply(d, true); err != nil {
+			return 0, err
+		}
+	}
+	return c.Conn.Write(b)
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.closed.Store(true)
+	return c.Conn.Close()
+}
+
+// sleepAtLeast sleeps for d (no-op for non-positive d).
+func sleepAtLeast(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// splitmix is the splitmix64 stream every fault decision is drawn
+// from: tiny state, sequential, and trivially replayable.
+type splitmix struct{ state uint64 }
+
+// next returns the next 64-bit draw.
+func (s *splitmix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns the next uniform float64 in [0, 1).
+func (s *splitmix) float() float64 {
+	return float64(s.next()>>11) * (1.0 / (1 << 53))
+}

@@ -1,0 +1,318 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Mode
+	}{
+		{"", 0},
+		{"none", 0},
+		{"all", ModeAll},
+		{"latency", Latency},
+		{"latency,corrupt", Latency | Corrupt},
+		{" reset , freeze ", Reset | Freeze},
+		{"partial,accept-stall", Partial | AcceptStall},
+	}
+	for _, c := range cases {
+		got, err := ParseMode(c.in)
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseMode(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseMode("latency,bogus"); err == nil {
+		t.Fatal("ParseMode accepted an unknown mode")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if got := Mode(0).String(); got != "none" {
+		t.Fatalf("Mode(0).String() = %q", got)
+	}
+	if got := (Latency | Corrupt).String(); got != "latency,corrupt" {
+		t.Fatalf("String() = %q", got)
+	}
+	// String and ParseMode must round-trip every single-bit mode.
+	for _, e := range modeNames {
+		back, err := ParseMode(e.mode.String())
+		if err != nil || back != e.mode {
+			t.Fatalf("round-trip %v: got %v, err %v", e.mode, back, err)
+		}
+	}
+}
+
+// script runs a fixed operation sequence — ops alternating writes and
+// reads of 64-byte payloads — through a wrapped net.Pipe end, with a
+// plain peer echoing on the far side. Errors (injected resets, closed
+// pipes after a reset) are tolerated: the point is that every run
+// issues the same operation sequence so the decision stream replays.
+func script(t *testing.T, cfg Config, ops int) *Injector {
+	t.Helper()
+	in := Wrap(nopListener{}, cfg)
+	near, far := net.Pipe()
+	c := in.WrapConn(near, 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 64)
+		for {
+			if _, err := io.ReadFull(far, buf); err != nil {
+				return
+			}
+			if _, err := far.Write(buf); err != nil {
+				return
+			}
+		}
+	}()
+	payload := bytes.Repeat([]byte{0x42}, 64)
+	buf := make([]byte, 64)
+	for i := 0; i < ops; i++ {
+		c.SetDeadline(time.Now().Add(2 * time.Second))
+		c.Write(payload)
+		io.ReadFull(c, buf)
+	}
+	c.Close()
+	far.Close()
+	<-done
+	return in
+}
+
+// nopListener satisfies net.Listener for injectors that only ever
+// WrapConn (the scripted tests never call Accept).
+type nopListener struct{}
+
+func (nopListener) Accept() (net.Conn, error) { return nil, errors.New("nop") }
+func (nopListener) Close() error              { return nil }
+func (nopListener) Addr() net.Addr            { return &net.TCPAddr{} }
+
+func fastConfig(seed uint64, modes Mode) Config {
+	return Config{
+		Seed:  seed,
+		Modes: modes,
+		// Keep every sleep tiny so the scripted runs stay fast.
+		LatencyMax:     time.Millisecond,
+		FreezeDur:      time.Millisecond,
+		AcceptStallMax: time.Millisecond,
+	}
+}
+
+func TestSeedReplayIdentical(t *testing.T) {
+	a := script(t, fastConfig(11, ModeAll), 40).Events()
+	b := script(t, fastConfig(11, ModeAll), 40).Events()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different fault sequence:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("ModeAll over 40 ops injected nothing; probabilities broken")
+	}
+}
+
+func TestSeedChangesFaults(t *testing.T) {
+	a := script(t, fastConfig(11, ModeAll), 40).Events()
+	b := script(t, fastConfig(12, ModeAll), 40).Events()
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds replayed the identical fault sequence")
+	}
+}
+
+// TestBandStability pins the stacked-band property: enabling extra
+// modes must not move another mode's probability band, so the corrupt
+// faults fire at the same per-connection sequence numbers whether
+// corruption runs alone or alongside latency and partial writes.
+func TestBandStability(t *testing.T) {
+	seqs := func(in *Injector) []uint64 {
+		var out []uint64
+		for _, e := range in.Events() {
+			if e.Kind == "corrupt" {
+				out = append(out, e.Seq)
+			}
+		}
+		return out
+	}
+	alone := seqs(script(t, fastConfig(7, Corrupt), 60))
+	mixed := seqs(script(t, fastConfig(7, Corrupt|Latency|Partial), 60))
+	if len(alone) == 0 {
+		t.Fatal("no corrupt faults fired in 60 ops")
+	}
+	if !reflect.DeepEqual(alone, mixed) {
+		t.Fatalf("corrupt band moved when other modes were enabled:\n%v\nvs\n%v", alone, mixed)
+	}
+}
+
+func TestResetTearsConn(t *testing.T) {
+	in := Wrap(nopListener{}, Config{Seed: 3, Modes: Reset, ResetProb: 1})
+	near, far := net.Pipe()
+	c := in.WrapConn(near, 0)
+	go io.Copy(io.Discard, far)
+	if _, err := c.Write([]byte("hello")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("Write under ResetProb=1: err = %v, want ErrInjectedReset", err)
+	}
+	// The underlying conn really closed: the peer sees EOF.
+	far.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := far.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer still readable after injected reset")
+	}
+}
+
+func TestCorruptFlipsOneByte(t *testing.T) {
+	in := Wrap(nopListener{}, Config{Seed: 5, Modes: Corrupt, CorruptProb: 1})
+	near, far := net.Pipe()
+	c := in.WrapConn(near, 0)
+	sent := bytes.Repeat([]byte{0x11}, 32)
+	got := make([]byte, 32)
+	go func() {
+		c.SetWriteDeadline(time.Now().Add(time.Second))
+		c.Write(sent)
+	}()
+	if _, err := io.ReadFull(far, got); err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != sent[i] {
+			diff++
+			if got[i] != sent[i]^0xa5 {
+				t.Fatalf("byte %d corrupted to %#x, want %#x", i, got[i], sent[i]^0xa5)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption flipped %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestPartialWriteDeliversIntact(t *testing.T) {
+	in := Wrap(nopListener{}, Config{
+		Seed: 9, Modes: Partial, PartialProb: 1, LatencyMax: time.Millisecond,
+	})
+	near, far := net.Pipe()
+	c := in.WrapConn(near, 0)
+	// Stacked bands reserve space for the disabled modes, so even at
+	// PartialProb=1 an individual write may pass clean — several writes
+	// (deterministic under the fixed seed) guarantee at least one fault.
+	const rounds = 10
+	sent := bytes.Repeat([]byte{0x33}, 128)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			if n, err := c.Write(sent); err != nil || n != len(sent) {
+				t.Errorf("partial write %d: n=%d err=%v", i, n, err)
+				return
+			}
+		}
+	}()
+	got := make([]byte, rounds*128)
+	if _, err := io.ReadFull(far, got); err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	if !bytes.Equal(got, bytes.Repeat(sent, rounds)) {
+		t.Fatal("partial (chunked) writes corrupted the payload")
+	}
+	evs := in.Events()
+	if len(evs) == 0 {
+		t.Fatal("no partial fault fired in 10 writes")
+	}
+	for _, e := range evs {
+		if e.Kind != "partial" {
+			t.Fatalf("unexpected fault %v with only partial enabled", e)
+		}
+	}
+}
+
+func TestAcceptStall(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Wrap(ln, Config{
+		Seed: 2, Modes: AcceptStall, AcceptStallProb: 1, AcceptStallMax: time.Millisecond,
+	})
+	defer in.Close()
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c, err := in.Accept()
+	if err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	c.Close()
+	evs := in.Events()
+	if len(evs) != 1 || evs[0].Kind != "accept-stall" || evs[0].Op != "accept" {
+		t.Fatalf("events = %v, want one accept-stall", evs)
+	}
+}
+
+func TestFreezeAndLatencyStillDeliver(t *testing.T) {
+	in := Wrap(nopListener{}, Config{
+		Seed: 4, Modes: Freeze | Latency,
+		FreezeProb: 0.5, LatencyProb: 0.5,
+		FreezeDur: time.Millisecond, LatencyMax: time.Millisecond,
+	})
+	near, far := net.Pipe()
+	c := in.WrapConn(near, 0)
+	go func() {
+		buf := make([]byte, 8)
+		for {
+			if _, err := io.ReadFull(far, buf); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		c.SetWriteDeadline(time.Now().Add(time.Second))
+		if _, err := c.Write([]byte("12345678")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	c.Close()
+	far.Close()
+	if len(in.Events()) == 0 {
+		t.Fatal("freeze|latency at p=0.5 each injected nothing in 20 writes")
+	}
+	for _, e := range in.Events() {
+		if e.Kind != "freeze" && e.Kind != "latency" {
+			t.Fatalf("unexpected fault %v with only freeze|latency enabled", e)
+		}
+	}
+}
+
+func TestEventsByConn(t *testing.T) {
+	in := Wrap(nopListener{}, Config{Seed: 1, Modes: Corrupt, CorruptProb: 1})
+	for id := uint64(0); id < 2; id++ {
+		near, far := net.Pipe()
+		c := in.WrapConn(near, id)
+		go io.Copy(io.Discard, far)
+		c.SetWriteDeadline(time.Now().Add(time.Second))
+		c.Write([]byte("abcd"))
+		c.Write([]byte("efgh"))
+		c.Close()
+		far.Close()
+	}
+	byConn := in.EventsByConn()
+	if len(byConn) != 2 {
+		t.Fatalf("EventsByConn has %d conns, want 2", len(byConn))
+	}
+	for id, evs := range byConn {
+		if len(evs) != 2 {
+			t.Fatalf("conn %d has %d events, want 2", id, len(evs))
+		}
+		if evs[0].Seq >= evs[1].Seq {
+			t.Fatalf("conn %d events not in sequence order: %v", id, evs)
+		}
+	}
+}

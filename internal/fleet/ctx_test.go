@@ -1,0 +1,39 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestReadBatchCtxHonorsContext(t *testing.T) {
+	f, _, set := testFleet(t, 2, Config{})
+	xs := [][]float64{set.Samples[0].Pixels, set.Samples[1].Pixels}
+
+	// A live context reads normally.
+	if _, err := f.ReadBatchCtx(context.Background(), xs); err != nil {
+		t.Fatalf("background ctx: %v", err)
+	}
+
+	// A dead context abandons the read before touching hardware.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := f.ReadBatchCtx(ctx, xs)
+	if err == nil {
+		t.Fatal("cancelled ctx answered a read")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+
+	// An expired deadline behaves the same, wrapping DeadlineExceeded —
+	// the serve layer matches on exactly that to answer the typed
+	// timeout.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	_, err = f.ReadBatchCtx(dctx, xs)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want wrapped context.DeadlineExceeded", err)
+	}
+}

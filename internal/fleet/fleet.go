@@ -23,6 +23,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -252,7 +253,7 @@ type BatchResult struct {
 // a logical input vector.
 func (f *Fleet) Classify(x []float64) (Result, error) {
 	var res Result
-	err := f.route(func(m *Member, n *ncs.NCS) error {
+	err := f.route(context.Background(), func(m *Member, n *ncs.NCS) error {
 		scores, err := n.Scores(x)
 		if err != nil {
 			return err
@@ -269,8 +270,19 @@ func (f *Fleet) Classify(x []float64) (Result, error) {
 // per-member effective-weight resolution across the batch), failing the
 // whole batch over to the next member on error.
 func (f *Fleet) ReadBatch(xs [][]float64) (BatchResult, error) {
+	return f.ReadBatchCtx(context.Background(), xs)
+}
+
+// ReadBatchCtx is ReadBatch bounded by a context: a deadline or
+// cancellation is honored between failover hops (a read already running
+// on a member's hardware is synchronous and cannot be interrupted
+// mid-solve), so a dead context stops the router from burning more
+// members on a request nobody is waiting for. The context error is
+// returned wrapped; errors.Is(err, context.DeadlineExceeded) detects
+// the blown deadline.
+func (f *Fleet) ReadBatchCtx(ctx context.Context, xs [][]float64) (BatchResult, error) {
 	var res BatchResult
-	err := f.route(func(m *Member, n *ncs.NCS) error {
+	err := f.route(ctx, func(m *Member, n *ncs.NCS) error {
 		scores, err := n.ScoresBatch(xs)
 		if err != nil {
 			return err
@@ -289,14 +301,19 @@ func (f *Fleet) ReadBatch(xs [][]float64) (BatchResult, error) {
 // route picks a member and runs the read closure against it with
 // failover: first the serving members in round-robin order (breaker
 // permitting), then the least-bad degraded fallback. degraded is set
-// when the fallback served.
-func (f *Fleet) route(read func(*Member, *ncs.NCS) error, degraded *bool) error {
+// when the fallback served. The context is checked between hops; a
+// dead one aborts the search with its (wrapped) error.
+func (f *Fleet) route(ctx context.Context, read func(*Member, *ncs.NCS) error, degraded *bool) error {
 	f.requests.Add(1)
 	f.cRequests.Inc()
 	n := len(f.members)
 	start := int(f.cursor.Add(1)-1) % n
 	tried := 0
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			f.cUnanswered.Inc()
+			return fmt.Errorf("fleet: read abandoned: %w", err)
+		}
 		m := f.members[(start+i)%n]
 		if m.State() != Serving || !m.brk.Allow() {
 			continue
@@ -319,6 +336,10 @@ func (f *Fleet) route(read func(*Member, *ncs.NCS) error, degraded *bool) error 
 	}
 	// Graceful degradation: spares ran out. Serve from the least-bad
 	// array still answering reads, flagging the result.
+	if err := ctx.Err(); err != nil {
+		f.cUnanswered.Inc()
+		return fmt.Errorf("fleet: read abandoned: %w", err)
+	}
 	if m := f.leastBad(); m != nil {
 		if err := f.serve(m, read); err == nil {
 			*degraded = true

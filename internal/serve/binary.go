@@ -43,6 +43,10 @@ const (
 	StatusDraining byte = 3
 	// StatusInternal reports an engine failure for an admitted request.
 	StatusInternal byte = 4
+	// StatusDeadlineExceeded answers an admitted request whose
+	// per-request deadline passed before the engine could compute it.
+	// The read is idempotent; the client may retry.
+	StatusDeadlineExceeded byte = 5
 )
 
 // maxFrameFloats bounds a request frame's element count (guards the
@@ -51,9 +55,15 @@ const (
 const maxFrameFloats = 1 << 20
 
 // handleBinary speaks the framed protocol on one connection until the
-// client closes it, a frame is malformed beyond recovery, or drain
-// pokes the idle read. Each frame is admitted through the same queue
-// as HTTP requests.
+// client closes it, a frame is malformed beyond recovery, a timeout
+// fires, or drain pokes the idle read. Each frame is admitted through
+// the same queue as HTTP requests.
+//
+// Timeout discipline (the binary slowloris defense): waiting for the
+// next frame's first byte is bounded by IdleTimeout; once a frame has
+// started, the rest of it must arrive within ReadTimeout — a client
+// trickling one byte per minute cannot hold the handler hostage.
+// Responses are bounded by WriteTimeout.
 func (s *Server) handleBinary(c net.Conn) {
 	s.connsMu.Lock()
 	s.conns[c] = struct{}{}
@@ -67,26 +77,35 @@ func (s *Server) handleBinary(c net.Conn) {
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
 	for {
+		// Idle phase: wait (bounded) for the next frame to start.
+		s.setReadDeadline(c, s.cfg.IdleTimeout)
+		if _, err := br.Peek(1); err != nil {
+			return // EOF, idle timeout, or the drain poke
+		}
+		// Frame phase: the whole frame must land within ReadTimeout.
+		s.setReadDeadline(c, s.cfg.ReadTimeout)
 		x, err := readRequestFrame(br, s.cfg.Inputs)
 		if err != nil {
 			if errors.Is(err, errBadFrame) {
 				// Dimension/validity rejection: answer and keep the
 				// connection — the framing itself is still in sync.
-				c.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
+				c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 				writeErrorFrame(bw, StatusBadRequest, 0, err.Error())
 				bw.Flush()
 				continue
 			}
-			return // EOF, torn frame, or the drain poke
+			return // torn frame, oversized header, or mid-frame stall
 		}
 		start := time.Now()
 		cls, err := s.submit(x)
-		c.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			writeErrorFrame(bw, StatusOverloaded, s.cfg.RetryAfter, err.Error())
 		case errors.Is(err, ErrDraining):
 			writeErrorFrame(bw, StatusDraining, s.cfg.RetryAfter, err.Error())
+		case errors.Is(err, ErrDeadlineExceeded):
+			writeErrorFrame(bw, StatusDeadlineExceeded, 0, err.Error())
 		case err != nil:
 			writeErrorFrame(bw, StatusInternal, 0, err.Error())
 		default:
@@ -104,26 +123,54 @@ func (s *Server) handleBinary(c net.Conn) {
 	}
 }
 
+// setReadDeadline arms a read deadline d from now, then re-checks the
+// draining flag: Shutdown's wake-up poke (SetReadDeadline(now) on every
+// registered connection) could land between our deadline write and the
+// blocking read, and must not be overwritten by a longer deadline — the
+// double-check closes that race, because Shutdown sets draining before
+// poking.
+func (s *Server) setReadDeadline(c net.Conn, d time.Duration) {
+	c.SetReadDeadline(time.Now().Add(d))
+	if s.draining.Load() {
+		c.SetReadDeadline(time.Now())
+	}
+}
+
 // errBadFrame marks an in-sync frame the server rejects (the
 // connection survives); any other read error tears the connection.
 var errBadFrame = errors.New("bad frame")
 
 // readRequestFrame reads one [count][floats] frame and validates it
-// against the expected input dimension.
+// against the expected input dimension. The max-frame guard runs
+// before any payload allocation: a hostile length prefix above
+// maxFrameFloats tears the connection without allocating, and a
+// wrong-dimension (but sane) count streams its payload to discard —
+// keeping the framing in sync for the in-sync rejection — so the
+// server's allocation is always bounded by its own input dimension,
+// never by a byte the client chose.
 func readRequestFrame(r io.Reader, inputs int) ([]float64, error) {
 	var count uint32
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
 		return nil, err
 	}
 	if count == 0 || count > maxFrameFloats {
-		return nil, fmt.Errorf("%w: count %d out of range", errBadFrame, count)
+		// Hard reject, connection torn: a length prefix this far out of
+		// range means the stream is garbage (or hostile), and consuming
+		// gigabytes to "stay in sync" would be the attack succeeding.
+		return nil, fmt.Errorf("serve: frame count %d out of range", count)
+	}
+	if int(count) != inputs {
+		// In-sync rejection: drain the advertised payload to discard
+		// (no allocation proportional to the hostile count), then
+		// answer StatusBadRequest and keep the connection.
+		if _, err := io.CopyN(io.Discard, r, 8*int64(count)); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: input length %d, want %d", errBadFrame, count, inputs)
 	}
 	buf := make([]byte, 8*int(count))
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
-	}
-	if int(count) != inputs {
-		return nil, fmt.Errorf("%w: input length %d, want %d", errBadFrame, count, inputs)
 	}
 	x := make([]float64, count)
 	for i := range x {
@@ -213,14 +260,20 @@ func (e *RemoteError) Overloaded() bool {
 	return e.Status == StatusOverloaded || e.Status == StatusDraining
 }
 
+// Timeout reports whether the error is the server's typed deadline
+// answer: the request was admitted but its deadline passed before the
+// engine computed it. The read is idempotent, so retrying is safe.
+func (e *RemoteError) Timeout() bool { return e.Status == StatusDeadlineExceeded }
+
 // BinaryClient is a client for the binary hot path: one connection,
 // synchronous request/response. It is not safe for concurrent use;
 // open one per goroutine (that is also what feeds the server's
 // micro-batcher).
 type BinaryClient struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
 }
 
 // DialBinary connects to a serve listener and performs the magic
@@ -237,9 +290,17 @@ func DialBinary(addr string, timeout time.Duration) (*BinaryClient, error) {
 	return &BinaryClient{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
+// SetTimeout bounds every subsequent Classify round-trip: the request
+// write and the response read must both complete within d of the call
+// starting. Zero (the default) leaves the round-trip unbounded.
+func (c *BinaryClient) SetTimeout(d time.Duration) { c.timeout = d }
+
 // Classify sends one input vector and decodes the response. A non-OK
 // status is returned as *RemoteError; transport failures as-is.
 func (c *BinaryClient) Classify(x []float64) (Classification, error) {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
 	if err := writeRequestFrame(c.w, x); err != nil {
 		return Classification{}, err
 	}

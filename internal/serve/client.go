@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"vortex/internal/rng"
+)
+
+// RetryPolicy tunes the ResilientClient's retry loop. Zero fields
+// resolve to the documented defaults.
+//
+// Retries are safe here only because the classify operation is an
+// idempotent read: replaying it against the fleet cannot double-apply
+// anything. The policy therefore retries transport failures (the
+// request may or may not have executed — idempotency makes the
+// ambiguity harmless), backpressure rejections and typed timeouts, and
+// never retries StatusBadRequest (a malformed request will not improve)
+// or StatusDraining (the server is going away).
+type RetryPolicy struct {
+	// MaxAttempts caps total attempts per request, first try included.
+	// 1 disables retries. Default 3.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff ceiling; each further
+	// retry doubles it up to MaxBackoff. The actual sleep is
+	// full-jittered: uniform in (0, ceiling]. Default 10ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth. Default 1s.
+	MaxBackoff time.Duration
+	// BudgetRatio is the retry budget: every issued request earns this
+	// many retry tokens and every retry spends one, so a long outage
+	// degrades to roughly (1+BudgetRatio)× the offered load instead of
+	// a MaxAttempts× retry storm. The bucket starts (and is capped) at
+	// a small burst so isolated failures still get their full retries.
+	// Default 0.2.
+	BudgetRatio float64
+	// Seed drives the jitter stream, making a client's backoff sequence
+	// reproducible. Default 1.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff == 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff == 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.BudgetRatio == 0 {
+		p.BudgetRatio = 0.2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// ClientConfig assembles a ResilientClient. Addr is required.
+type ClientConfig struct {
+	// Addr is the server's host:port.
+	Addr string
+	// DialTimeout bounds one connection attempt. Default 5s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one attempt's round-trip (write + read);
+	// an attempt that blows it is closed, counted a timeout, and —
+	// budget permitting — retried on a fresh connection. Zero leaves
+	// attempts unbounded.
+	RequestTimeout time.Duration
+	// HedgeDelay enables hedged requests: when an attempt has not
+	// answered after this long, the same request is fired on a second
+	// connection and the first answer wins (the loser's connection is
+	// closed, since its late answer would desynchronize the stream).
+	// Zero disables hedging. Hedging is also gated on idempotency —
+	// the classify read is one, so both copies executing is harmless.
+	HedgeDelay time.Duration
+	// Retry is the retry policy.
+	Retry RetryPolicy
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	c.Retry = c.Retry.withDefaults()
+	return c
+}
+
+// ClientStats counts what the resilience machinery actually did —
+// vortexload reports these so a chaos run shows its retries, hedges
+// and timeouts instead of hiding them.
+type ClientStats struct {
+	// Requests is the number of Classify calls made.
+	Requests int64 `json:"requests"`
+	// Answered counts calls that returned a classification.
+	Answered int64 `json:"answered"`
+	// Retries counts extra attempts after a retryable failure.
+	Retries int64 `json:"retries"`
+	// BudgetDenied counts retries the budget refused.
+	BudgetDenied int64 `json:"budget_denied"`
+	// Hedges counts hedge attempts fired.
+	Hedges int64 `json:"hedges"`
+	// HedgeWins counts hedges whose answer arrived first.
+	HedgeWins int64 `json:"hedge_wins"`
+	// Timeouts counts attempts that blew RequestTimeout client-side
+	// plus typed deadline answers from the server.
+	Timeouts int64 `json:"timeouts"`
+	// Redials counts fresh connections dialed after the first.
+	Redials int64 `json:"redials"`
+	// Failures counts calls that exhausted every attempt.
+	Failures int64 `json:"failures"`
+}
+
+// ResilientClient wraps the binary hot path with a retry policy
+// (capped jittered exponential backoff behind a retry budget) and
+// optional hedged requests across two connections. Like BinaryClient,
+// it is not safe for concurrent use: open one per goroutine.
+type ResilientClient struct {
+	cfg   ClientConfig
+	lanes [2]*BinaryClient // 0 = primary, 1 = hedge
+	rnd   *rng.Source
+	// tokens is the retry budget bucket; see RetryPolicy.BudgetRatio.
+	tokens    float64
+	tokensCap float64
+	stats     ClientStats
+	dialed    bool
+}
+
+// NewResilientClient builds a client for the given configuration. No
+// connection is dialed until the first Classify.
+func NewResilientClient(cfg ClientConfig) (*ResilientClient, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("serve: resilient client needs an address")
+	}
+	burst := float64(cfg.Retry.MaxAttempts - 1)
+	if burst < 1 {
+		burst = 1
+	}
+	return &ResilientClient{
+		cfg:       cfg,
+		rnd:       rng.New(cfg.Retry.Seed),
+		tokens:    burst,
+		tokensCap: burst + 8,
+	}, nil
+}
+
+// Stats snapshots the client's resilience counters.
+func (c *ResilientClient) Stats() ClientStats { return c.stats }
+
+// Close closes every open connection.
+func (c *ResilientClient) Close() error {
+	var err error
+	for i, bc := range c.lanes {
+		if bc != nil {
+			if cerr := bc.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+			c.lanes[i] = nil
+		}
+	}
+	return err
+}
+
+// Classify sends one input vector with retries and (when configured)
+// hedging, returning the first successful classification or the last
+// error once the policy is exhausted.
+func (c *ResilientClient) Classify(x []float64) (Classification, error) {
+	c.stats.Requests++
+	c.tokens += c.cfg.Retry.BudgetRatio
+	if c.tokens > c.tokensCap {
+		c.tokens = c.tokensCap
+	}
+	var lastErr error
+	ceiling := c.cfg.Retry.BaseBackoff
+	for attempt := 0; attempt < c.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if c.tokens < 1 {
+				c.stats.BudgetDenied++
+				break
+			}
+			c.tokens--
+			c.stats.Retries++
+			// Full jitter: uniform in (0, ceiling], then double the
+			// ceiling up to the cap.
+			time.Sleep(time.Duration((c.rnd.Float64() + 1.0/float64(1<<20)) * float64(ceiling)))
+			if ceiling *= 2; ceiling > c.cfg.Retry.MaxBackoff {
+				ceiling = c.cfg.Retry.MaxBackoff
+			}
+		}
+		cls, err := c.attempt(x)
+		if err == nil {
+			c.stats.Answered++
+			return cls, nil
+		}
+		lastErr = err
+		retry, wait := c.classifyError(err)
+		if !retry {
+			break
+		}
+		if wait > 0 {
+			// Server-advertised back-off (overload): honored on top of
+			// the exponential schedule.
+			time.Sleep(wait)
+		}
+	}
+	c.stats.Failures++
+	return Classification{}, lastErr
+}
+
+// classifyError decides whether an attempt's error is retryable and
+// how long the server asked us to wait first.
+func (c *ResilientClient) classifyError(err error) (retry bool, wait time.Duration) {
+	if re, ok := err.(*RemoteError); ok {
+		switch re.Status {
+		case StatusOverloaded:
+			return true, re.RetryAfter
+		case StatusDeadlineExceeded:
+			c.stats.Timeouts++
+			return true, 0
+		case StatusInternal:
+			// Engine failure after server-side failover; the read is
+			// idempotent and the fleet may have healed — retry.
+			return true, 0
+		default:
+			// Bad request will not improve; draining will not come back.
+			return false, 0
+		}
+	}
+	// Transport error (reset, corruption-induced desync, timeout): the
+	// connection was already dropped by attempt(); retrying redials.
+	return true, 0
+}
+
+// attempt runs one logical attempt: a request on the primary lane,
+// hedged onto the second lane when HedgeDelay passes unanswered. An
+// errored or timed-out lane's connection is dropped so the next use
+// redials.
+func (c *ResilientClient) attempt(x []float64) (Classification, error) {
+	if c.cfg.HedgeDelay <= 0 {
+		cls, err := c.laneDo(0, x)
+		return cls, err
+	}
+	type laneResult struct {
+		lane int
+		cls  Classification
+		err  error
+	}
+	results := make(chan laneResult, 2)
+	launch := func(lane int) bool {
+		bc, err := c.lane(lane)
+		if err != nil {
+			results <- laneResult{lane: lane, err: err}
+			return false
+		}
+		go func() {
+			cls, err := clientDo(bc, x)
+			results <- laneResult{lane: lane, cls: cls, err: err}
+		}()
+		return true
+	}
+	inFlight := 0
+	if launch(0) {
+		inFlight = 1
+	} else {
+		r := <-results
+		c.dropLane(r.lane, r.err)
+		return Classification{}, r.err
+	}
+	hedgeTimer := time.NewTimer(c.cfg.HedgeDelay)
+	defer hedgeTimer.Stop()
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				// Winner. A still-pending lane is abandoned: its
+				// connection closes so the late answer cannot
+				// desynchronize a future request.
+				if hedged && r.lane == 1 {
+					c.stats.HedgeWins++
+				}
+				if inFlight > 1 {
+					c.dropLane(1-r.lane, nil)
+				}
+				return r.cls, nil
+			}
+			c.dropLane(r.lane, r.err)
+			inFlight--
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inFlight == 0 {
+				return Classification{}, firstErr
+			}
+		case <-hedgeTimer.C:
+			if !hedged {
+				hedged = true
+				c.stats.Hedges++
+				if launch(1) {
+					inFlight++
+				} else {
+					r := <-results // the failed launch's error
+					if r.lane == 1 {
+						c.dropLane(1, r.err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// laneDo runs one request on the given lane synchronously, dropping
+// the lane's connection on error.
+func (c *ResilientClient) laneDo(lane int, x []float64) (Classification, error) {
+	bc, err := c.lane(lane)
+	if err != nil {
+		return Classification{}, err
+	}
+	cls, err := clientDo(bc, x)
+	if err != nil {
+		c.dropLane(lane, err)
+	}
+	return cls, err
+}
+
+// clientDo is one raw round-trip on an already-dialed connection.
+func clientDo(bc *BinaryClient, x []float64) (Classification, error) {
+	return bc.Classify(x)
+}
+
+// lane returns the lane's connection, dialing it on demand.
+func (c *ResilientClient) lane(i int) (*BinaryClient, error) {
+	if c.lanes[i] != nil {
+		return c.lanes[i], nil
+	}
+	bc, err := DialBinary(c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if c.cfg.RequestTimeout > 0 {
+		bc.SetTimeout(c.cfg.RequestTimeout)
+	}
+	if c.dialed {
+		c.stats.Redials++
+	}
+	c.dialed = true
+	c.lanes[i] = bc
+	return bc, nil
+}
+
+// dropLane closes and forgets a lane's connection after a failure (or
+// a hedge abandonment), counting client-side timeouts. A *RemoteError
+// means the protocol stream is still in sync, so the connection is
+// kept unless it was abandoned mid-request (err == nil).
+func (c *ResilientClient) dropLane(lane int, err error) {
+	if _, ok := err.(*RemoteError); ok {
+		return // typed answer: the connection is healthy
+	}
+	if err != nil && isTimeout(err) {
+		c.stats.Timeouts++
+	}
+	if c.lanes[lane] != nil {
+		c.lanes[lane].Close()
+		c.lanes[lane] = nil
+	}
+}
+
+// isTimeout reports whether err is a network timeout.
+func isTimeout(err error) bool {
+	type timeouter interface{ Timeout() bool }
+	if te, ok := err.(timeouter); ok {
+		return te.Timeout()
+	}
+	return false
+}

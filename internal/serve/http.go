@@ -60,6 +60,10 @@ type HealthResponse struct {
 	Inputs int `json:"inputs"`
 	// Served is the number of requests answered so far.
 	Served int64 `json:"served"`
+	// Degraded reports the fleet's degraded mode: some member demoted,
+	// or nothing Serving and reads riding the last-resort path. Load
+	// balancers use it to deprioritize (not evict) the instance.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // maxJSONBody bounds a classify request body (a full-scale 784-input
@@ -155,6 +159,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	case admitErr != nil:
 		s.writeBackpressure(w, admitErr)
 		return
+	case errors.Is(engineErr, ErrDeadlineExceeded):
+		writeJSONError(w, http.StatusGatewayTimeout, engineErr.Error(), 0)
+		return
 	case engineErr != nil:
 		writeJSONError(w, http.StatusInternalServerError, engineErr.Error(), 0)
 		return
@@ -164,6 +171,12 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		out.Result = &results[0]
 	} else {
 		out.Results = results
+	}
+	for _, r := range results {
+		if r.Degraded {
+			w.Header().Set("X-Vortex-Degraded", "1")
+			break
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 	s.hHTTP.RecordDuration(time.Since(start))
@@ -200,9 +213,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: status,
-		Inputs: s.cfg.Inputs,
-		Served: s.served.Load(),
+		Status:   status,
+		Inputs:   s.cfg.Inputs,
+		Served:   s.served.Load(),
+		Degraded: s.degradedMode(),
 	})
 }
 

@@ -1,29 +1,38 @@
 package serve
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"time"
 
+	"vortex/internal/fleet"
 	"vortex/internal/obs"
 )
 
 // request is one admitted classification read waiting in the queue.
 // resp is buffered (capacity 1) so a batcher worker never blocks on a
-// client that walked away.
+// client that walked away. deadline is the request's admission-stamped
+// service deadline (zero when RequestTimeout is disabled): once it
+// passes, the request is answered with ErrDeadlineExceeded instead of
+// being computed.
 type request struct {
-	x    []float64
-	resp chan response
+	x        []float64
+	resp     chan response
+	deadline time.Time
 }
 
 // response is the worker's answer to one request: the classification or
-// the engine error that failed its batch.
+// the typed error (engine failure or blown deadline) that ends it.
 type response struct {
 	cls Classification
 	err error
 }
 
-// enqueue admits r to the bounded queue without blocking. A full queue
-// returns ErrQueueFull and a draining server ErrDraining; on success
-// the request is counted in-flight and is guaranteed an answer.
+// enqueue admits r to the bounded queue without blocking, stamping the
+// request deadline. A full queue returns ErrQueueFull and a draining
+// server ErrDraining; on success the request is counted in-flight and
+// is guaranteed an answer (possibly the typed deadline error).
 func (s *Server) enqueue(r *request) error {
 	// Order matters for the drain race: the in-flight Add happens
 	// before the draining check, so a request admitted concurrently
@@ -35,6 +44,9 @@ func (s *Server) enqueue(r *request) error {
 		s.rejectedDrn.Add(1)
 		s.cRejDrain.Inc()
 		return ErrDraining
+	}
+	if s.cfg.RequestTimeout > 0 {
+		r.deadline = time.Now().Add(s.cfg.RequestTimeout)
 	}
 	select {
 	case s.queue <- r:
@@ -107,21 +119,60 @@ func (s *Server) fill(batch *[]*request, timer *time.Timer) {
 }
 
 // runBatch routes one micro-batch into the engine and fans the answers
-// back out to the waiting requests. An engine error fails every request
-// in the batch — the fleet router already exhausted failover before
-// reporting it.
+// back out to the waiting requests. Deadline propagation happens here:
+// requests whose deadline already passed are answered with the typed
+// timeout without touching the engine, and the surviving batch hands
+// the engine a context bounded by its latest deadline. An engine error
+// fails every surviving request in the batch — the fleet router already
+// exhausted failover before reporting it.
 func (s *Server) runBatch(batch []*request, xs [][]float64) {
 	span := obs.StartSpan("serve.batch", "size", len(batch))
+	defer span.End()
+	// Shed the already-dead: a request that blew its deadline in the
+	// queue is answered, not computed.
+	now := time.Now()
+	live := batch[:0]
+	var latest time.Time
+	bounded := true
 	for _, r := range batch {
+		if !r.deadline.IsZero() && now.After(r.deadline) {
+			s.answerTimeout(r)
+			continue
+		}
+		live = append(live, r)
+		if r.deadline.IsZero() {
+			bounded = false
+		} else if r.deadline.After(latest) {
+			latest = r.deadline
+		}
+	}
+	if len(live) == 0 {
+		s.gQueue.Set(float64(len(s.queue)))
+		return
+	}
+	for _, r := range live {
 		xs = append(xs, r.x)
 	}
-	res, err := s.cfg.Engine.ReadBatch(xs)
-	for i, r := range batch {
-		if err != nil {
+	ctx := context.Background()
+	if bounded {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, latest)
+		defer cancel()
+	}
+	res, err := s.readBatch(ctx, xs)
+	for i, r := range live {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.answerTimeout(r)
+			continue
+		case err != nil:
 			r.resp <- response{err: err}
 			s.failed.Add(1)
 			s.cFailed.Inc()
-		} else {
+		default:
+			if res.Degraded {
+				s.cDegraded.Inc()
+			}
 			r.resp <- response{cls: Classification{
 				Class:    res.Classes[i],
 				Scores:   res.Scores[i],
@@ -133,7 +184,34 @@ func (s *Server) runBatch(batch []*request, xs [][]float64) {
 		}
 		s.inflight.Done()
 	}
-	s.hBatch.Record(float64(len(batch)))
+	s.hBatch.Record(float64(len(live)))
 	s.gQueue.Set(float64(len(s.queue)))
-	span.End()
+}
+
+// readBatch routes one micro-batch into the engine — through the
+// context-aware path when the engine supports it — with the worker's
+// panic firewall: an engine panic becomes an error answer for the
+// batch, never a dead batcher goroutine (which would strand every
+// queued request and break the admitted⇒answered contract).
+func (s *Server) readBatch(ctx context.Context, xs [][]float64) (res fleet.BatchResult, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.cWorkerPanics.Inc()
+			obs.RecordEvent("panic", "serve.worker", "recovered", p)
+			err = fmt.Errorf("serve: engine panic: %v", p)
+		}
+	}()
+	if ce, ok := s.cfg.Engine.(CtxEngine); ok {
+		return ce.ReadBatchCtx(ctx, xs)
+	}
+	return s.cfg.Engine.ReadBatch(xs)
+}
+
+// answerTimeout answers one admitted request with the typed deadline
+// error and accounts it (TimedOut, serve.deadline_exceeded).
+func (s *Server) answerTimeout(r *request) {
+	r.resp <- response{err: ErrDeadlineExceeded}
+	s.timedOut.Add(1)
+	s.cDeadline.Inc()
+	s.inflight.Done()
 }

@@ -42,9 +42,21 @@ type Engine interface {
 	ReadBatch(xs [][]float64) (fleet.BatchResult, error)
 }
 
+// CtxEngine is the optional Engine refinement that accepts a context
+// bounding the batch read. When the engine implements it (fleet.Fleet
+// does, via ReadBatchCtx), the batcher workers hand it a context
+// carrying the batch's latest request deadline, so a fleet read that
+// nobody is waiting for anymore stops failing over dead members.
+type CtxEngine interface {
+	// ReadBatchCtx answers a batch of classification reads, honoring
+	// the context between internal failover hops.
+	ReadBatchCtx(ctx context.Context, xs [][]float64) (fleet.BatchResult, error)
+}
+
 // FleetStatser is the optional Engine refinement that exposes fleet
 // availability counters; when the engine implements it the /statz
-// endpoint includes the fleet snapshot.
+// endpoint includes the fleet snapshot and /healthz reports the
+// degraded-mode bit.
 type FleetStatser interface {
 	// Stats snapshots the fleet's availability counters.
 	Stats() fleet.Stats
@@ -77,9 +89,26 @@ type Config struct {
 	// to whole seconds, and the binary frame's millisecond field).
 	// Default 250ms.
 	RetryAfter time.Duration
-	// ReadTimeout bounds how long the HTTP server waits for a request
-	// to arrive on an accepted connection. Default 10s.
+	// ReadTimeout bounds how long the server waits for one request to
+	// finish arriving once it has started: the HTTP request (headers
+	// and body) and, on the binary path, the remainder of a frame whose
+	// first byte has landed — the anti-slowloris bound. Default 10s.
 	ReadTimeout time.Duration
+	// WriteTimeout bounds one response write on the binary path (and
+	// caps how long a stalled peer can hold a handler mid-flush).
+	// Default 10s.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a connection may sit idle between
+	// requests — HTTP keep-alive gaps and the wait for the next binary
+	// frame's first byte. Default 2m.
+	IdleTimeout time.Duration
+	// RequestTimeout is the per-request deadline stamped at admission
+	// and propagated through the queue into the engine read: a request
+	// that is still queued when its deadline passes is answered with
+	// ErrDeadlineExceeded instead of being computed, and the batch that
+	// carries it hands the engine a context bounded by the batch's
+	// latest deadline. Negative disables the deadline. Default 15s.
+	RequestTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +130,15 @@ func (c Config) withDefaults() Config {
 	if c.ReadTimeout == 0 {
 		c.ReadTimeout = 10 * time.Second
 	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
 	return c
 }
 
@@ -115,13 +153,13 @@ func (c Config) Validate() error {
 	if c.QueueDepth < 0 || c.BatchMax < 0 || c.Workers < 0 {
 		return errors.New("serve: negative queue depth, batch size or worker count")
 	}
-	if c.RetryAfter < 0 || c.ReadTimeout < 0 {
+	if c.RetryAfter < 0 || c.ReadTimeout < 0 || c.WriteTimeout < 0 || c.IdleTimeout < 0 {
 		return errors.New("serve: negative duration")
 	}
 	return nil
 }
 
-// Admission errors, surfaced to clients as backpressure statuses.
+// Admission and service errors, surfaced to clients as typed statuses.
 var (
 	// ErrQueueFull rejects an enqueue into a full request queue; the
 	// client should back off RetryAfter and retry.
@@ -129,6 +167,13 @@ var (
 	// ErrDraining rejects an enqueue after drain began; the server is
 	// going away and will not admit new work.
 	ErrDraining = errors.New("serve: server draining")
+	// ErrDeadlineExceeded answers an admitted request whose
+	// RequestTimeout deadline passed before (or while) the engine could
+	// compute it — the typed timeout of the admitted⇒answered contract.
+	// HTTP surfaces it as 504, the binary path as
+	// StatusDeadlineExceeded; the read is idempotent, so retrying is
+	// safe.
+	ErrDeadlineExceeded = errors.New("serve: request deadline exceeded")
 )
 
 // Server is the networked inference service. Build one with New, point
@@ -167,8 +212,10 @@ type Server struct {
 	rejectedFull atomic.Int64
 	rejectedDrn  atomic.Int64
 	failed       atomic.Int64
+	timedOut     atomic.Int64
 
 	cAccepted, cServed, cRejFull, cRejDrain, cFailed *obs.Counter
+	cDeadline, cConnPanics, cWorkerPanics, cDegraded *obs.Counter
 	hHTTP, hBinary, hBatch                           *obs.Histogram
 	gQueue, gDraining                                *obs.Gauge
 }
@@ -187,20 +234,29 @@ func New(cfg Config) (*Server, error) {
 		stopWorkers: make(chan struct{}),
 		conns:       map[net.Conn]struct{}{},
 
-		cAccepted: reg.Counter("serve.accepted"),
-		cServed:   reg.Counter("serve.served"),
-		cRejFull:  reg.Counter("serve.rejected_queue_full"),
-		cRejDrain: reg.Counter("serve.rejected_draining"),
-		cFailed:   reg.Counter("serve.failed"),
-		hHTTP:     reg.Histogram("serve.http.latency_ns"),
-		hBinary:   reg.Histogram("serve.binary.latency_ns"),
-		hBatch:    reg.Histogram("serve.batch.size"),
-		gQueue:    reg.Gauge("serve.queue.depth"),
-		gDraining: reg.Gauge("serve.draining"),
+		cAccepted:     reg.Counter("serve.accepted"),
+		cServed:       reg.Counter("serve.served"),
+		cRejFull:      reg.Counter("serve.rejected_queue_full"),
+		cRejDrain:     reg.Counter("serve.rejected_draining"),
+		cFailed:       reg.Counter("serve.failed"),
+		cDeadline:     reg.Counter("serve.deadline_exceeded"),
+		cConnPanics:   reg.Counter("serve.conn_panics"),
+		cWorkerPanics: reg.Counter("serve.worker_panics"),
+		cDegraded:     reg.Counter("serve.degraded_responses"),
+		hHTTP:         reg.Histogram("serve.http.latency_ns"),
+		hBinary:       reg.Histogram("serve.binary.latency_ns"),
+		hBatch:        reg.Histogram("serve.batch.size"),
+		gQueue:        reg.Gauge("serve.queue.depth"),
+		gDraining:     reg.Gauge("serve.draining"),
 	}
+	// ReadHeaderTimeout and IdleTimeout are what stop a slow-header or
+	// never-talking HTTP client from holding a connection (and its
+	// handler goroutine) open forever.
 	s.httpSrv = &http.Server{
-		Handler:     s.httpHandler(),
-		ReadTimeout: cfg.ReadTimeout,
+		Handler:           s.httpHandler(),
+		ReadTimeout:       cfg.ReadTimeout,
+		ReadHeaderTimeout: cfg.ReadTimeout,
+		IdleTimeout:       cfg.IdleTimeout,
 	}
 	return s, nil
 }
@@ -262,8 +318,11 @@ func (s *Server) Addr() net.Addr {
 
 // dispatch sniffs one accepted connection and hands it to the binary
 // handler or the HTTP server. The four sniffed bytes are replayed for
-// HTTP, so the dispatch is invisible to the http package.
+// HTTP, so the dispatch is invisible to the http package. A panic
+// anywhere in the per-connection path is isolated: the connection dies,
+// the server does not.
 func (s *Server) dispatch(c net.Conn) {
+	defer s.recoverConn(c)
 	var head [4]byte
 	c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 	if _, err := io.ReadFull(c, head[:]); err != nil {
@@ -275,11 +334,24 @@ func (s *Server) dispatch(c net.Conn) {
 		s.connWg.Add(1)
 		go func() {
 			defer s.connWg.Done()
+			defer s.recoverConn(c)
 			s.handleBinary(c)
 		}()
 		return
 	}
 	s.httpLn.push(&peekedConn{Conn: c, pre: head[:]})
+}
+
+// recoverConn is the per-connection panic firewall: it swallows a
+// handler panic, counts it, records a flight-recorder event and closes
+// the connection — one poisoned connection must never take the server
+// down.
+func (s *Server) recoverConn(c net.Conn) {
+	if p := recover(); p != nil {
+		s.cConnPanics.Inc()
+		obs.RecordEvent("panic", "serve.conn", "recovered", p)
+		c.Close()
+	}
 }
 
 // submit admits one request and waits for its answer — the synchronous
@@ -335,7 +407,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = werr
 	}
 	close(s.stopWorkers)
-	s.workersDone.Wait()
+	// Bound the worker join too: a worker wedged inside a non-context
+	// engine call must not hold Shutdown past its deadline — the drain
+	// reports ctx.Err() instead of hanging.
+	if werr := waitCtx(ctx, &s.workersDone); werr != nil && err == nil {
+		err = werr
+	}
 	if httpLn != nil {
 		httpLn.Close()
 	}
@@ -377,6 +454,10 @@ type Stats struct {
 	RejectedDraining int64 `json:"rejected_draining"`
 	// Failed counts admitted requests whose batch errored in the engine.
 	Failed int64 `json:"failed"`
+	// TimedOut counts admitted requests answered with the typed
+	// deadline error instead of a computation. Every admitted request
+	// lands in exactly one of Served, Failed or TimedOut.
+	TimedOut int64 `json:"timed_out"`
 	// QueueDepth is the instantaneous queue occupancy.
 	QueueDepth int `json:"queue_depth"`
 	// Draining reports whether shutdown has begun.
@@ -394,6 +475,7 @@ func (s *Server) Stats() Stats {
 		RejectedQueueFull: s.rejectedFull.Load(),
 		RejectedDraining:  s.rejectedDrn.Load(),
 		Failed:            s.failed.Load(),
+		TimedOut:          s.timedOut.Load(),
 		QueueDepth:        len(s.queue),
 		Draining:          s.draining.Load(),
 	}
@@ -402,6 +484,21 @@ func (s *Server) Stats() Stats {
 		st.Fleet = &snap
 	}
 	return st
+}
+
+// degradedMode reports whether the fleet behind the engine is in
+// degraded mode — some member demoted to Degraded, or no member
+// Serving at all. Engines that expose no fleet stats are never
+// degraded. The bit is wired into /healthz and the X-Vortex-Degraded
+// response header; per-read degradation additionally rides every
+// Classification's Degraded flag on both protocols.
+func (s *Server) degradedMode() bool {
+	fs, ok := s.cfg.Engine.(FleetStatser)
+	if !ok {
+		return false
+	}
+	st := fs.Stats()
+	return st.Degraded > 0 || st.Serving == 0
 }
 
 // chanListener adapts the sniffed-connection stream to a net.Listener
